@@ -1,0 +1,47 @@
+//! Ablation: index binning strategies (equal-width, equal-weight, precision
+//! boundaries) — build time and range-query evaluation time over the same
+//! column. Equal-weight bins spread candidate checks evenly; precision bins
+//! let low-precision query constants be answered from the index alone.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbit::{BitmapIndex, ValueRange};
+use histogram::Binning;
+use vdx_bench::serial_dataset;
+
+fn bench_binning(c: &mut Criterion) {
+    let dataset = serial_dataset(60_000);
+    let px = dataset.table().float_column("px").unwrap();
+    let strategies: Vec<(&str, Binning)> = vec![
+        ("equal_width", Binning::EqualWidth { bins: 256 }),
+        ("equal_weight", Binning::EqualWeight { bins: 256 }),
+        ("precision2", Binning::Precision { bins: 256, digits: 2 }),
+    ];
+    let mut group = c.benchmark_group("ablation_binning");
+    for (name, strategy) in &strategies {
+        group.bench_function(BenchmarkId::new("build", *name), |b| {
+            b.iter(|| BitmapIndex::build(px, strategy).unwrap())
+        });
+        let index = BitmapIndex::build(px, strategy).unwrap();
+        let range = ValueRange::gt(2.5e10);
+        group.bench_function(BenchmarkId::new("range_query", *name), |b| {
+            b.iter(|| index.evaluate(&range, px).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_binning
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Ablation: WAH compression versus uncompressed bit vectors.
+//!
+//! Measures construction, logical AND and population count for the sparse
+//! bitmaps typical of a binned index (one bin of a 256-bin index holds ~0.4%
+//! of the rows) and reports the size ratio through the `figures` binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbit::{BitVec, Wah};
+
+fn sparse_indices(n: u64, stride: u64, offset: u64) -> Vec<u64> {
+    (offset..n).step_by(stride as usize).collect()
+}
+
+fn bench_wah(c: &mut Criterion) {
+    let n: u64 = 2_000_000;
+    let a_idx = sparse_indices(n, 256, 0);
+    let b_idx = sparse_indices(n, 256, 128);
+    let wah_a = Wah::from_sorted_indices(n, a_idx.clone());
+    let wah_b = Wah::from_sorted_indices(n, b_idx.clone());
+    let bv_a = BitVec::from_indices(n as usize, a_idx.iter().map(|&i| i as usize));
+    let bv_b = BitVec::from_indices(n as usize, b_idx.iter().map(|&i| i as usize));
+
+    let mut group = c.benchmark_group("ablation_wah");
+    group.bench_function(BenchmarkId::new("build", "wah"), |bench| {
+        bench.iter(|| Wah::from_sorted_indices(n, a_idx.clone()))
+    });
+    group.bench_function(BenchmarkId::new("build", "uncompressed"), |bench| {
+        bench.iter(|| BitVec::from_indices(n as usize, a_idx.iter().map(|&i| i as usize)))
+    });
+    group.bench_function(BenchmarkId::new("and", "wah"), |bench| {
+        bench.iter(|| wah_a.and(&wah_b).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("and", "uncompressed"), |bench| {
+        bench.iter(|| {
+            let mut x = bv_a.clone();
+            x.and_assign(&bv_b);
+            x
+        })
+    });
+    group.bench_function(BenchmarkId::new("count_ones", "wah"), |bench| {
+        bench.iter(|| wah_a.count_ones())
+    });
+    group.bench_function(BenchmarkId::new("count_ones", "uncompressed"), |bench| {
+        bench.iter(|| bv_a.count_ones())
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_wah
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 13: serial processing of identifier (`ID IN (…)`) queries as a
+//! function of the search-set size. FastBit answers from the identifier
+//! index; Custom scans the whole identifier column with an `O(log S)`
+//! membership test per record.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastbit::scan;
+use vdx_bench::{id_search_set, serial_dataset};
+
+fn bench_id_queries(c: &mut Criterion) {
+    let dataset = serial_dataset(120_000);
+    let ids_column = dataset.table().id_column("id").unwrap();
+    let id_index = dataset.id_index().unwrap();
+    let mut group = c.benchmark_group("fig13_id_query");
+    for count in [10usize, 1_000, 50_000] {
+        let search = id_search_set(&dataset, count);
+        group.bench_with_input(BenchmarkId::new("fastbit", search.len()), &search, |b, search| {
+            b.iter(|| id_index.select(search))
+        });
+        group.bench_with_input(BenchmarkId::new("custom", search.len()), &search, |b, search| {
+            b.iter(|| scan::scan_id_search(ids_column, search))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_id_queries
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 2 (rendering): traditional polyline parallel coordinates versus
+//! histogram-based rendering at different bin resolutions. The polyline cost
+//! grows with the number of records; the histogram cost depends only on the
+//! number of (non-empty) bins.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use histogram::{BinEdges, Hist2D};
+use pcoords::{AxisSpec, Layer, ParallelCoordsPlot, PlotConfig, Rgba};
+use vdx_bench::serial_dataset;
+
+fn bench_rendering(c: &mut Criterion) {
+    let dataset = serial_dataset(60_000);
+    let axes = ["x", "px", "y", "py"];
+    let columns: Vec<Vec<f64>> = axes
+        .iter()
+        .map(|&a| dataset.table().float_column(a).unwrap().to_vec())
+        .collect();
+    let specs: Vec<AxisSpec> = axes
+        .iter()
+        .zip(columns.iter())
+        .map(|(&name, col)| AxisSpec::from_data(name, col))
+        .collect();
+    let plot = ParallelCoordsPlot::new(PlotConfig::default(), specs.clone());
+
+    let mut group = c.benchmark_group("fig2_rendering");
+
+    // Polyline rendering at increasing record counts: cost scales with records.
+    for records in [2_000usize, 8_000, 25_000] {
+        let subset: Vec<Vec<f64>> = columns.iter().map(|c| c[..records].to_vec()).collect();
+        group.bench_with_input(BenchmarkId::new("polylines", records), &subset, |b, subset| {
+            b.iter(|| plot.render(&[Layer::polylines(subset.clone(), Rgba::WHITE)]))
+        });
+    }
+
+    // Histogram rendering at increasing bin counts: cost scales with bins,
+    // independent of the 60k underlying records.
+    for bins in [80usize, 256, 700] {
+        let hists: Vec<Hist2D> = (0..axes.len() - 1)
+            .map(|i| {
+                let ex = BinEdges::uniform(specs[i].min, specs[i].max, bins).unwrap();
+                let ey = BinEdges::uniform(specs[i + 1].min, specs[i + 1].max, bins).unwrap();
+                Hist2D::from_data(ex, ey, &columns[i], &columns[i + 1])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("histogram_quads", bins), &hists, |b, hists| {
+            b.iter(|| plot.render(&[Layer::histograms(hists.clone(), Rgba::CONTEXT_GRAY)]))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rendering
+}
+criterion_main!(benches);

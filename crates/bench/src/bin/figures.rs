@@ -1,0 +1,280 @@
+//! Regenerate every figure of the paper's evaluation section (Figures 11–17)
+//! on the synthetic LWFA workload, printing the same series the paper plots
+//! and writing one CSV per figure under `experiments/`.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p vdx-bench --bin figures -- \
+//!     [--particles N] [--timesteps N] [--nodes 1,2,4,8] [--out DIR] [--quick]
+//! ```
+//!
+//! Absolute times depend on the host; the *shapes* (who wins, how the gap
+//! changes with hit count, how the speedup scales with nodes) are the
+//! reproduction targets recorded in EXPERIMENTS.md.
+
+use std::path::PathBuf;
+
+use fastbit::{
+    scan, BinSpec, HistEngine, HistogramEngine, QueryExpr, ValueRange,
+};
+use pipeline::{HistogramStage, NodePool, Tracker};
+use vdx_bench::{
+    catalog_workload, id_search_set, serial_dataset, threshold_for_hits, time_it, write_csv,
+};
+
+struct Args {
+    particles: usize,
+    timesteps: usize,
+    nodes: Vec<usize>,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        argv.iter()
+            .position(|a| a == flag)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let quick = argv.iter().any(|a| a == "--quick");
+    let particles = get("--particles")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 50_000 } else { 400_000 });
+    let timesteps = get("--timesteps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 8 } else { 24 });
+    let nodes = get("--nodes")
+        .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let out = get("--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("experiments"));
+    Args {
+        particles,
+        timesteps,
+        nodes,
+        out,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!("# VDX figure regeneration");
+    println!(
+        "# serial dataset: {} particles; parallel catalog: {} timesteps x {} particles; nodes: {:?}",
+        args.particles,
+        args.timesteps,
+        args.particles / 4,
+        args.nodes
+    );
+
+    fig11_unconditional_histograms(&args);
+    fig12_conditional_histograms(&args);
+    fig13_id_queries(&args);
+    fig14_15_parallel_histograms(&args);
+    fig16_17_parallel_tracking(&args);
+    println!("\nCSV series written to {}/", args.out.display());
+}
+
+/// Figure 11: serial unconditional 2D histogram time vs number of bins.
+fn fig11_unconditional_histograms(args: &Args) {
+    println!("\n== Figure 11: unconditional 2D histograms (time vs bins) ==");
+    let dataset = serial_dataset(args.particles);
+    let engine = HistogramEngine::new(&dataset);
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "bins", "FastBit-Regular", "FastBit-Adaptive", "Custom-Regular"
+    );
+    let mut rows = Vec::new();
+    for bins in [32usize, 64, 128, 256, 512, 1024, 2048] {
+        let (_, fb_reg) = time_it(|| {
+            engine
+                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), None, HistEngine::FastBit)
+                .unwrap()
+        });
+        let (_, fb_ad) = time_it(|| {
+            engine
+                .hist2d("x", "px", &BinSpec::Adaptive(bins), &BinSpec::Adaptive(bins), None, HistEngine::FastBit)
+                .unwrap()
+        });
+        let (_, cu_reg) = time_it(|| {
+            engine
+                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), None, HistEngine::Custom)
+                .unwrap()
+        });
+        println!("{:>10} {:>16.4} {:>16.4} {:>16.4}", bins * bins, fb_reg, fb_ad, cu_reg);
+        rows.push(format!("{},{fb_reg},{fb_ad},{cu_reg}", bins * bins));
+    }
+    write_csv(&args.out, "fig11_unconditional_hist.csv", "bins,fastbit_regular_s,fastbit_adaptive_s,custom_regular_s", &rows).unwrap();
+}
+
+/// Figure 12: serial conditional 2D histogram time vs number of hits
+/// (1024×1024 bins, px > threshold conditions).
+fn fig12_conditional_histograms(args: &Args) {
+    println!("\n== Figure 12: conditional 2D histograms (time vs hits, 1024x1024 bins) ==");
+    let dataset = serial_dataset(args.particles);
+    let engine = HistogramEngine::new(&dataset);
+    let bins = 1024usize;
+    println!(
+        "{:>12} {:>16} {:>16} {:>16}",
+        "hits", "FastBit-Regular", "FastBit-Adaptive", "Custom-Regular"
+    );
+    let mut rows = Vec::new();
+    let mut target = 10usize;
+    while target < args.particles {
+        let threshold = threshold_for_hits(&dataset, target);
+        let cond = QueryExpr::pred("px", ValueRange::gt(threshold));
+        let hits = engine
+            .evaluate_condition(&cond, HistEngine::FastBit)
+            .unwrap()
+            .count();
+        let (_, fb_reg) = time_it(|| {
+            engine
+                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), Some(&cond), HistEngine::FastBit)
+                .unwrap()
+        });
+        let (_, fb_ad) = time_it(|| {
+            engine
+                .hist2d("x", "px", &BinSpec::Adaptive(bins), &BinSpec::Adaptive(bins), Some(&cond), HistEngine::FastBit)
+                .unwrap()
+        });
+        let (_, cu_reg) = time_it(|| {
+            engine
+                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), Some(&cond), HistEngine::Custom)
+                .unwrap()
+        });
+        println!("{:>12} {:>16.4} {:>16.4} {:>16.4}", hits, fb_reg, fb_ad, cu_reg);
+        rows.push(format!("{hits},{fb_reg},{fb_ad},{cu_reg}"));
+        target *= 10;
+    }
+    write_csv(&args.out, "fig12_conditional_hist.csv", "hits,fastbit_regular_s,fastbit_adaptive_s,custom_regular_s", &rows).unwrap();
+}
+
+/// Figure 13: serial identifier-query time vs number of identifiers.
+fn fig13_id_queries(args: &Args) {
+    println!("\n== Figure 13: identifier queries (time vs number of identifiers) ==");
+    let dataset = serial_dataset(args.particles);
+    let ids_column = dataset.table().id_column("id").unwrap();
+    println!("{:>12} {:>14} {:>14} {:>10}", "identifiers", "FastBit", "Custom", "ratio");
+    let mut rows = Vec::new();
+    let mut count = 10usize;
+    while count < args.particles {
+        let search = id_search_set(&dataset, count);
+        let (fb_sel, fb_s) = time_it(|| dataset.id_index().unwrap().select(&search));
+        let (cu_sel, cu_s) = time_it(|| scan::scan_id_search(ids_column, &search));
+        assert_eq!(fb_sel.count(), cu_sel.count());
+        println!(
+            "{:>12} {:>14.6} {:>14.6} {:>10.1}",
+            search.len(),
+            fb_s,
+            cu_s,
+            cu_s / fb_s.max(1e-9)
+        );
+        rows.push(format!("{},{fb_s},{cu_s}", search.len()));
+        count *= 10;
+    }
+    write_csv(&args.out, "fig13_id_query.csv", "identifiers,fastbit_s,custom_s", &rows).unwrap();
+}
+
+/// Figures 14 and 15: parallel histogram computation times and speedups.
+fn fig14_15_parallel_histograms(args: &Args) {
+    println!("\n== Figures 14/15: parallel histogram computation ==");
+    let per_step = (args.particles / 4).max(10_000);
+    let (catalog, _dir) = catalog_workload("fig14", per_step, args.timesteps);
+    let pairs = vec![("x", "px"), ("y", "py"), ("z", "pz"), ("x", "y"), ("px", "py")];
+    let bins = 1024;
+    // Condition analogous to the paper's px > 7e10 on its momentum scale.
+    let probe = catalog.load(catalog.steps()[args.timesteps - 1], Some(&["px", "id"]), true).unwrap();
+    let mut probe_ds = probe;
+    probe_ds.build_id_index().ok();
+    let cond_threshold = {
+        let px = probe_ds.table().float_column("px").unwrap();
+        let mut sorted = px.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted[sorted.len().saturating_sub(sorted.len() / 100).saturating_sub(1)]
+    };
+    let condition = QueryExpr::pred("px", ValueRange::gt(cond_threshold));
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "nodes", "FastBit-uncond", "Custom-uncond", "FastBit-cond", "Custom-cond"
+    );
+    let mut rows = Vec::new();
+    let mut baselines: Option<[f64; 4]> = None;
+    let mut speedups = Vec::new();
+    for &nodes in &args.nodes {
+        let pool = NodePool::new(nodes);
+        let mut row = [0.0f64; 4];
+        for (i, (engine, cond)) in [
+            (HistEngine::FastBit, None),
+            (HistEngine::Custom, None),
+            (HistEngine::FastBit, Some(condition.clone())),
+            (HistEngine::Custom, Some(condition.clone())),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut stage = HistogramStage::new(pairs.clone(), bins).with_engine(engine);
+            if let Some(c) = cond {
+                stage = stage.with_condition(c);
+            }
+            let out = stage.run(&catalog, &pool).unwrap();
+            row[i] = out.elapsed.as_secs_f64();
+        }
+        println!(
+            "{:>6} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
+            nodes, row[0], row[1], row[2], row[3]
+        );
+        rows.push(format!("{nodes},{},{},{},{}", row[0], row[1], row[2], row[3]));
+        let base = *baselines.get_or_insert(row);
+        speedups.push(format!(
+            "{nodes},{:.3},{:.3},{:.3},{:.3}",
+            base[0] / row[0],
+            base[1] / row[1],
+            base[2] / row[2],
+            base[3] / row[3]
+        ));
+    }
+    write_csv(&args.out, "fig14_parallel_hist_times.csv", "nodes,fastbit_uncond_s,custom_uncond_s,fastbit_cond_s,custom_cond_s", &rows).unwrap();
+    write_csv(&args.out, "fig15_parallel_hist_speedup.csv", "nodes,fastbit_uncond,custom_uncond,fastbit_cond,custom_cond", &speedups).unwrap();
+    println!("   (Figure 15 = the same runs expressed as speedup vs 1 node; see CSV)");
+}
+
+/// Figures 16 and 17: parallel particle tracking times and speedups.
+fn fig16_17_parallel_tracking(args: &Args) {
+    println!("\n== Figures 16/17: parallel particle tracking ==");
+    let per_step = (args.particles / 4).max(10_000);
+    let (catalog, _dir) = catalog_workload("fig14", per_step, args.timesteps);
+    // Pick ~500 beam particles, as in the paper's px > 1e11 query.
+    let last = *catalog.steps().last().unwrap();
+    let ds = catalog.load(last, Some(&["px", "id"]), true).unwrap();
+    let px = ds.table().float_column("px").unwrap();
+    let ids = ds.table().id_column("id").unwrap();
+    let mut order: Vec<usize> = (0..px.len()).collect();
+    order.sort_by(|&a, &b| px[b].partial_cmp(&px[a]).unwrap());
+    let tracked: Vec<u64> = order.iter().take(500).map(|&r| ids[r]).collect();
+    println!("   tracking {} particles over {} timesteps", tracked.len(), catalog.num_timesteps());
+
+    println!("{:>6} {:>14} {:>14} {:>12} {:>12}", "nodes", "FastBit_s", "Custom_s", "fb_speedup", "cu_speedup");
+    let mut rows = Vec::new();
+    let mut speedup_rows = Vec::new();
+    let mut base: Option<(f64, f64)> = None;
+    for &nodes in &args.nodes {
+        let pool = NodePool::new(nodes);
+        let fb = Tracker::new(HistEngine::FastBit).track(&catalog, &tracked, &pool).unwrap();
+        let cu = Tracker::new(HistEngine::Custom).track(&catalog, &tracked, &pool).unwrap();
+        assert_eq!(fb.total_hits(), cu.total_hits());
+        let (fb_s, cu_s) = (fb.elapsed.as_secs_f64(), cu.elapsed.as_secs_f64());
+        let b = *base.get_or_insert((fb_s, cu_s));
+        println!(
+            "{:>6} {:>14.3} {:>14.3} {:>12.2} {:>12.2}",
+            nodes,
+            fb_s,
+            cu_s,
+            b.0 / fb_s,
+            b.1 / cu_s
+        );
+        rows.push(format!("{nodes},{fb_s},{cu_s}"));
+        speedup_rows.push(format!("{nodes},{:.3},{:.3}", b.0 / fb_s, b.1 / cu_s));
+    }
+    write_csv(&args.out, "fig16_parallel_tracking_times.csv", "nodes,fastbit_s,custom_s", &rows).unwrap();
+    write_csv(&args.out, "fig17_parallel_tracking_speedup.csv", "nodes,fastbit,custom", &speedup_rows).unwrap();
+}

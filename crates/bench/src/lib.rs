@@ -1,0 +1,154 @@
+//! Shared workload builders for the benchmark harness.
+//!
+//! Every benchmark and the `figures` binary build their datasets through this
+//! module so that the serial experiments (Figures 11–13) and the parallel
+//! experiments (Figures 14–17) use the same synthetic LWFA data and the same
+//! preprocessing (bitmap + identifier indexes) as the rest of the workspace.
+
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use datastore::{Catalog, Dataset};
+use histogram::Binning;
+use lwfa::{SimConfig, Simulation};
+
+/// Number of index bins used by the one-time preprocessing in benchmarks.
+pub const INDEX_BINS: usize = 256;
+
+/// Build one in-memory timestep of `particles` particles at a late (beam
+/// containing) timestep, with bitmap and identifier indexes attached. This is
+/// the workload of the serial experiments (Figures 11–13).
+pub fn serial_dataset(particles: usize) -> Dataset {
+    let mut config = SimConfig::paper_2d(particles);
+    // Run to a timestep where both beams exist and px spans its full range.
+    config.num_timesteps = config.beam1_dephasing_step + 2;
+    let (tables, _) = Simulation::new(config.clone()).run_to_tables();
+    let table = tables.into_iter().last().expect("at least one timestep");
+    let step = config.num_timesteps - 1;
+    let mut dataset = Dataset::from_table(table, step);
+    dataset
+        .build_indexes(&Binning::EqualWidth { bins: INDEX_BINS })
+        .expect("index construction");
+    dataset.build_id_index().expect("id index construction");
+    dataset
+}
+
+/// Build (or reuse) an on-disk catalog of `timesteps` timestep files with
+/// `particles` particles each, fully indexed. Reuse is keyed on the
+/// parameters so repeated benchmark runs skip regeneration.
+pub fn catalog_workload(tag: &str, particles: usize, timesteps: usize) -> (Catalog, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("vdx_bench_{tag}_{particles}_{timesteps}"));
+    if let Ok(existing) = Catalog::open(&dir) {
+        if existing.num_timesteps() == timesteps {
+            return (existing, dir);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).expect("create catalog dir");
+    let config = SimConfig::scaling(particles, timesteps);
+    Simulation::new(config)
+        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: INDEX_BINS }))
+        .expect("catalog generation");
+    (catalog, dir)
+}
+
+/// A px threshold that selects approximately `target_hits` records of
+/// `dataset` (found by sorting the px column), used to parameterise the
+/// conditional-histogram and ID-query experiments by hit count.
+pub fn threshold_for_hits(dataset: &Dataset, target_hits: usize) -> f64 {
+    let px = dataset
+        .table()
+        .float_column("px")
+        .expect("px column present");
+    let mut sorted: Vec<f64> = px.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite momenta"));
+    let n = sorted.len();
+    let target = target_hits.min(n.saturating_sub(1));
+    sorted[n - 1 - target]
+}
+
+/// The first `count` particle identifiers of a dataset — the search set for
+/// the ID-query experiments.
+pub fn id_search_set(dataset: &Dataset, count: usize) -> Vec<u64> {
+    let ids = dataset.table().id_column("id").expect("id column present");
+    ids.iter().copied().step_by((ids.len() / count.max(1)).max(1)).take(count).collect()
+}
+
+/// Measure the wall-clock seconds of a closure.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64())
+}
+
+/// Write a simple CSV file (header plus rows) under `dir`.
+pub fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[String]) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut content = String::with_capacity(rows.len() * 32 + header.len() + 1);
+    content.push_str(header);
+    content.push('\n');
+    for r in rows {
+        content.push_str(r);
+        content.push('\n');
+    }
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_dataset_has_indexes_and_beams() {
+        let d = serial_dataset(3_000);
+        assert_eq!(d.num_particles(), 3_000);
+        assert!(!d.indexed_columns().is_empty());
+        assert!(d.id_index().is_some());
+        // The px column spans thermal background to accelerated beam.
+        let px = d.table().float_column("px").unwrap();
+        let max = px.iter().copied().fold(f64::MIN, f64::max);
+        assert!(max > 1e10, "beam particles should be present (max px = {max:.3e})");
+    }
+
+    #[test]
+    fn threshold_for_hits_hits_the_target_roughly() {
+        let d = serial_dataset(5_000);
+        for target in [10usize, 100, 1000] {
+            let t = threshold_for_hits(&d, target);
+            let hits = d
+                .table()
+                .float_column("px")
+                .unwrap()
+                .iter()
+                .filter(|&&v| v > t)
+                .count();
+            assert!(
+                hits >= target / 2 && hits <= target * 2 + 4,
+                "target {target}, got {hits}"
+            );
+        }
+    }
+
+    #[test]
+    fn id_search_set_is_bounded_and_valid() {
+        let d = serial_dataset(2_000);
+        let set = id_search_set(&d, 50);
+        assert!(set.len() <= 51 && set.len() >= 40);
+        let sel = d.select_ids(&set).unwrap();
+        assert_eq!(sel.count() as usize, set.len());
+    }
+
+    #[test]
+    fn catalog_workload_is_reused_between_calls() {
+        let (c1, dir) = catalog_workload("reuse_test", 300, 3);
+        let created = c1.total_size_bytes().unwrap();
+        let (c2, _) = catalog_workload("reuse_test", 300, 3);
+        assert_eq!(c2.num_timesteps(), 3);
+        assert_eq!(c2.total_size_bytes().unwrap(), created);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

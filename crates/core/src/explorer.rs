@@ -1,0 +1,348 @@
+//! The [`DataExplorer`] facade.
+
+use std::path::{Path, PathBuf};
+
+use datastore::Catalog;
+use fastbit::{parse_query, BinSpec, HistEngine, QueryExpr};
+use histogram::{Binning, Hist2D};
+use lwfa::{SimConfig, Simulation};
+use pcoords::{AxisSpec, Framebuffer, Layer, ParallelCoordsPlot, PlotConfig, Rgba};
+use pipeline::{BeamAnalyzer, NodePool, TrackingOutput};
+
+use crate::error::{Result, VdxError};
+
+/// Configuration of a [`DataExplorer`].
+#[derive(Debug, Clone)]
+pub struct ExplorerConfig {
+    /// Number of parallel "nodes" (worker threads) used for catalog-wide
+    /// operations.
+    pub nodes: usize,
+    /// Execution engine: index-accelerated (`FastBit`) or scanning
+    /// (`Custom`).
+    pub engine: HistEngine,
+    /// Binning strategy used when building bitmap indexes during generation.
+    pub index_binning: Binning,
+    /// Default histogram resolution (bins per axis).
+    pub default_bins: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            engine: HistEngine::FastBit,
+            index_binning: Binning::EqualWidth { bins: 256 },
+            default_bins: 256,
+        }
+    }
+}
+
+/// A particle selection: the result of a beam-selection query at one
+/// timestep.
+#[derive(Debug, Clone)]
+pub struct BeamSelection {
+    /// Timestep the selection was made at.
+    pub step: usize,
+    /// The query that produced it.
+    pub query: QueryExpr,
+    /// Identifiers of the selected particles (the set passed to tracking).
+    pub ids: Vec<u64>,
+}
+
+/// The top-level exploration session over one timestep catalog.
+#[derive(Debug)]
+pub struct DataExplorer {
+    catalog: Catalog,
+    config: ExplorerConfig,
+}
+
+impl DataExplorer {
+    /// Open an existing catalog directory.
+    pub fn open(dir: impl Into<PathBuf>, config: ExplorerConfig) -> Result<Self> {
+        let catalog = Catalog::open(dir)?;
+        Ok(Self { catalog, config })
+    }
+
+    /// Generate a synthetic LWFA dataset into `dir` (running the one-time
+    /// index-building preprocessing) and open it.
+    pub fn generate(
+        dir: impl Into<PathBuf>,
+        sim: SimConfig,
+        config: ExplorerConfig,
+    ) -> Result<Self> {
+        let dir = dir.into();
+        let mut catalog = Catalog::create(&dir)?;
+        Simulation::new(sim).run_to_catalog(&mut catalog, Some(&config.index_binning))?;
+        Ok(Self { catalog, config })
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExplorerConfig {
+        &self.config
+    }
+
+    /// The timesteps available.
+    pub fn steps(&self) -> Vec<usize> {
+        self.catalog.steps()
+    }
+
+    /// A [`BeamAnalyzer`] bound to this catalog.
+    pub fn analyzer(&self) -> BeamAnalyzer<'_> {
+        BeamAnalyzer::new(&self.catalog, NodePool::new(self.config.nodes))
+            .with_engine(self.config.engine)
+    }
+
+    /// Select particles at `step` with a textual query such as
+    /// `"px > 8.872e10"` and return their identifiers.
+    pub fn select(&self, step: usize, query: &str) -> Result<BeamSelection> {
+        let expr = parse_query(query)?;
+        let (ids, _) = self.analyzer().select(step, &expr)?;
+        Ok(BeamSelection {
+            step,
+            query: expr,
+            ids,
+        })
+    }
+
+    /// Refine a selection: keep only the particles that also satisfy `query`
+    /// at timestep `step`.
+    pub fn refine(&self, selection: &BeamSelection, step: usize, query: &str) -> Result<BeamSelection> {
+        let expr = parse_query(query)?;
+        let ids = self.analyzer().refine(step, &selection.ids, &expr)?;
+        Ok(BeamSelection {
+            step,
+            query: selection.query.clone().and(expr),
+            ids,
+        })
+    }
+
+    /// Trace a particle set across every timestep.
+    pub fn track(&self, ids: &[u64]) -> Result<TrackingOutput> {
+        Ok(self.analyzer().track(ids)?)
+    }
+
+    /// Compute the 2D histograms between adjacent axes of `axes` at `step`,
+    /// optionally restricted by `condition`, at `bins` resolution.
+    pub fn axis_histograms(
+        &self,
+        step: usize,
+        axes: &[&str],
+        bins: usize,
+        condition: Option<&str>,
+        adaptive: bool,
+    ) -> Result<Vec<Hist2D>> {
+        if axes.len() < 2 {
+            return Err(VdxError::Invalid("need at least two axes".into()));
+        }
+        let condition = condition.map(parse_query).transpose()?;
+        let dataset = self
+            .catalog
+            .load(step, None, self.config.engine == HistEngine::FastBit)?;
+        let engine = dataset.hist_engine();
+        let selection = condition
+            .as_ref()
+            .map(|c| engine.evaluate_condition(c, self.config.engine))
+            .transpose()?;
+        let spec = if adaptive {
+            BinSpec::Adaptive(bins)
+        } else {
+            BinSpec::Uniform(bins)
+        };
+        let mut hists = Vec::with_capacity(axes.len() - 1);
+        for pair in axes.windows(2) {
+            hists.push(engine.hist2d_with_selection(
+                pair[0],
+                pair[1],
+                &spec,
+                &spec,
+                selection.as_ref(),
+                self.config.engine,
+            )?);
+        }
+        Ok(hists)
+    }
+
+    /// Build a [`ParallelCoordsPlot`] whose axes cover the value ranges of
+    /// `axes` at timestep `step`.
+    pub fn plot_for(&self, step: usize, axes: &[&str], plot: PlotConfig) -> Result<ParallelCoordsPlot> {
+        let dataset = self.catalog.load(step, Some(axes), false)?;
+        let specs: Vec<AxisSpec> = axes
+            .iter()
+            .map(|&name| {
+                dataset
+                    .table()
+                    .float_column(name)
+                    .map(|values| AxisSpec::from_data(name, values))
+            })
+            .collect::<std::result::Result<_, _>>()?;
+        Ok(ParallelCoordsPlot::new(plot, specs))
+    }
+
+    /// Render a context + focus histogram-based parallel coordinates view at
+    /// `step`: the context layer shows every particle (grey) and the focus
+    /// layer shows the particles matching `focus_query` (red), exactly the
+    /// composition of the paper's Figures 4, 5 and 10a.
+    pub fn render_focus_context(
+        &self,
+        step: usize,
+        axes: &[&str],
+        bins: usize,
+        focus_query: Option<&str>,
+        gamma: f64,
+    ) -> Result<Framebuffer> {
+        let plot = self.plot_for(step, axes, PlotConfig::default())?;
+        let context = self.axis_histograms(step, axes, bins, None, false)?;
+        let mut layers = vec![Layer::histograms(context, Rgba::CONTEXT_GRAY).with_gamma(gamma)];
+        if let Some(q) = focus_query {
+            // Focus views are rendered at higher resolution than the context
+            // (smooth drill-down, Section III-A.2).
+            let focus = self.axis_histograms(step, axes, bins * 2, Some(q), false)?;
+            layers.push(Layer::histograms(focus, Rgba::FOCUS_RED).with_gamma(gamma));
+        }
+        Ok(plot.render(&layers))
+    }
+
+    /// Render a temporal parallel-coordinates plot of the particle set `ids`
+    /// over `steps` (one colour per timestep, Figure 9).
+    pub fn render_temporal(
+        &self,
+        ids: &[u64],
+        steps: &[usize],
+        axes: &[&str],
+        bins: usize,
+        gamma: f64,
+    ) -> Result<Framebuffer> {
+        if axes.len() < 2 {
+            return Err(VdxError::Invalid("need at least two axes".into()));
+        }
+        let pairs: Vec<(&str, &str)> = axes.windows(2).map(|w| (w[0], w[1])).collect();
+        let temporal = self.analyzer().temporal_histograms(ids, steps, pairs, bins)?;
+        let reference_step = steps.first().copied().unwrap_or(0);
+        let plot = self.plot_for(reference_step, axes, PlotConfig::default())?;
+        Ok(plot.render_temporal(&temporal.per_timestep, gamma))
+    }
+
+    /// Render the traditional polyline parallel coordinates of `step`
+    /// restricted to `condition` — the comparison baseline of Figure 2a.
+    /// The cost of this rendering grows with the number of selected records.
+    pub fn render_polylines(
+        &self,
+        step: usize,
+        axes: &[&str],
+        condition: Option<&str>,
+    ) -> Result<Framebuffer> {
+        let plot = self.plot_for(step, axes, PlotConfig::default())?;
+        let dataset = self
+            .catalog
+            .load(step, None, self.config.engine == HistEngine::FastBit)?;
+        let selection = match condition {
+            Some(q) => Some(dataset.query(&parse_query(q)?)?),
+            None => None,
+        };
+        let columns: Vec<Vec<f64>> = axes
+            .iter()
+            .map(|&name| {
+                let values = dataset.table().float_column(name)?;
+                Ok(match &selection {
+                    Some(sel) => sel.gather(values),
+                    None => values.to_vec(),
+                })
+            })
+            .collect::<Result<_>>()?;
+        Ok(plot.render(&[Layer::polylines(columns, Rgba::WHITE)]))
+    }
+
+    /// Save a rendered image to `path` in PPM format.
+    pub fn save_image(&self, image: &Framebuffer, path: &Path) -> Result<()> {
+        image.save_ppm(path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("vdx_core_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn small_explorer(tag: &str) -> (DataExplorer, PathBuf) {
+        let dir = temp_dir(tag);
+        let mut sim = SimConfig::tiny();
+        sim.particles_per_step = 700;
+        sim.num_timesteps = 18;
+        let config = ExplorerConfig {
+            nodes: 2,
+            default_bins: 64,
+            index_binning: Binning::EqualWidth { bins: 32 },
+            ..Default::default()
+        };
+        let explorer = DataExplorer::generate(&dir, sim, config).unwrap();
+        (explorer, dir)
+    }
+
+    #[test]
+    fn generate_open_roundtrip() {
+        let (explorer, dir) = small_explorer("roundtrip");
+        assert_eq!(explorer.steps().len(), 18);
+        drop(explorer);
+        let reopened = DataExplorer::open(&dir, ExplorerConfig::default()).unwrap();
+        assert_eq!(reopened.steps().len(), 18);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn select_refine_track_workflow() {
+        let (explorer, dir) = small_explorer("workflow");
+        let beam = explorer.select(17, "px > 1.5e10").unwrap();
+        assert!(!beam.ids.is_empty());
+        let refined = explorer.refine(&beam, 16, "y > 0").unwrap();
+        assert!(refined.ids.len() <= beam.ids.len());
+        let tracks = explorer.track(&beam.ids).unwrap();
+        assert_eq!(tracks.traces.len(), beam.ids.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn focus_context_rendering_produces_pixels() {
+        let (explorer, dir) = small_explorer("render");
+        let image = explorer
+            .render_focus_context(15, &["x", "px", "y", "py"], 48, Some("px > 1e10"), 0.8)
+            .unwrap();
+        assert!(image.coverage(Rgba::BLACK) > 0.01);
+        let lines = explorer
+            .render_polylines(15, &["x", "px", "y"], Some("px > 1e10"))
+            .unwrap();
+        assert!(lines.coverage(Rgba::BLACK) > 0.001);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn temporal_rendering_produces_pixels() {
+        let (explorer, dir) = small_explorer("temporal");
+        let beam = explorer.select(17, "px > 1.5e10").unwrap();
+        let steps: Vec<usize> = (14..18).collect();
+        let image = explorer
+            .render_temporal(&beam.ids, &steps, &["x", "px", "y"], 32, 0.9)
+            .unwrap();
+        assert!(image.coverage(Rgba::BLACK) > 0.001);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let (explorer, dir) = small_explorer("invalid");
+        assert!(explorer.select(17, "px >").is_err());
+        assert!(explorer.axis_histograms(17, &["x"], 16, None, false).is_err());
+        assert!(explorer.select(999, "px > 1").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,303 @@
+//! Catalogs: directories of timestep files.
+//!
+//! A catalog is the unit the parallel experiments distribute over "nodes":
+//! each worker is statically assigned a strided subset of the timestep files
+//! and processes them independently, exactly as the paper assigns one HDF5
+//! file per Cray XT4 node.
+
+use std::path::{Path, PathBuf};
+
+use histogram::Binning;
+use parking_lot::Mutex;
+
+use crate::dataset::Dataset;
+use crate::error::{DataStoreError, Result};
+use crate::format;
+use crate::table::ParticleTable;
+
+/// One timestep known to a catalog.
+#[derive(Debug, Clone)]
+pub struct TimestepEntry {
+    /// Timestep number.
+    pub step: usize,
+    /// Path of the `.vdc` data file.
+    pub data_path: PathBuf,
+    /// Path of the `.vdi` index file, when the preprocessing step produced one.
+    pub index_path: Option<PathBuf>,
+    /// Path of the `.vdj` identifier-index file, when one was produced.
+    pub id_index_path: Option<PathBuf>,
+}
+
+/// A directory of timestep files, ordered by timestep number.
+#[derive(Debug)]
+pub struct Catalog {
+    dir: PathBuf,
+    entries: Vec<TimestepEntry>,
+    /// Serialize writers so concurrent `write_timestep` calls from the data
+    /// generator cannot interleave entry bookkeeping.
+    write_lock: Mutex<()>,
+}
+
+fn data_file_name(step: usize) -> String {
+    format!("timestep_{step:05}.vdc")
+}
+
+fn index_file_name(step: usize) -> String {
+    format!("timestep_{step:05}.vdi")
+}
+
+fn id_index_file_name(step: usize) -> String {
+    format!("timestep_{step:05}.vdj")
+}
+
+impl Catalog {
+    /// Create (or reuse) an empty catalog directory.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            entries: Vec::new(),
+            write_lock: Mutex::new(()),
+        })
+    }
+
+    /// Open an existing catalog directory, discovering every timestep file.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        let mut entries = Vec::new();
+        for item in std::fs::read_dir(&dir)? {
+            let path = item?.path();
+            let name = match path.file_name().and_then(|n| n.to_str()) {
+                Some(n) => n,
+                None => continue,
+            };
+            if let Some(step) = name
+                .strip_prefix("timestep_")
+                .and_then(|s| s.strip_suffix(".vdc"))
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                let index_path = dir.join(index_file_name(step));
+                let id_index_path = dir.join(id_index_file_name(step));
+                entries.push(TimestepEntry {
+                    step,
+                    data_path: path.clone(),
+                    index_path: index_path.exists().then_some(index_path),
+                    id_index_path: id_index_path.exists().then_some(id_index_path),
+                });
+            }
+        }
+        entries.sort_by_key(|e| e.step);
+        Ok(Self {
+            dir,
+            entries,
+            write_lock: Mutex::new(()),
+        })
+    }
+
+    /// Directory backing this catalog.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of timesteps.
+    pub fn num_timesteps(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The timestep numbers in ascending order.
+    pub fn steps(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.step).collect()
+    }
+
+    /// All entries in ascending timestep order.
+    pub fn entries(&self) -> &[TimestepEntry] {
+        &self.entries
+    }
+
+    /// Metadata for one timestep.
+    pub fn entry(&self, step: usize) -> Result<&TimestepEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.step == step)
+            .ok_or(DataStoreError::UnknownTimestep(step))
+    }
+
+    /// Write a timestep's particle table (and, when `index_binning` is given,
+    /// its bitmap indexes) into the catalog. This is the "one-time
+    /// preprocessing" stage of the paper's Figure 1.
+    pub fn write_timestep(
+        &mut self,
+        step: usize,
+        table: &ParticleTable,
+        index_binning: Option<&Binning>,
+    ) -> Result<()> {
+        let _guard = self.write_lock.lock();
+        let data_path = self.dir.join(data_file_name(step));
+        format::write_table(&data_path, table)?;
+        let (index_path, id_index_path) = match index_binning {
+            Some(binning) => {
+                let mut ds = Dataset::from_table(table.clone(), step);
+                ds.build_indexes(binning)?;
+                let indexes = ds.take_indexes();
+                let path = self.dir.join(index_file_name(step));
+                format::write_indexes(&path, &indexes)?;
+                // The identifier index enables ID IN (...) tracking queries.
+                let id_path = match table.id_column("id") {
+                    Ok(ids) => {
+                        let id_index = fastbit::IdIndex::build(ids);
+                        let id_path = self.dir.join(id_index_file_name(step));
+                        format::write_id_index(&id_path, &id_index)?;
+                        Some(id_path)
+                    }
+                    Err(_) => None,
+                };
+                (Some(path), id_path)
+            }
+            None => (None, None),
+        };
+        self.entries.retain(|e| e.step != step);
+        self.entries.push(TimestepEntry {
+            step,
+            data_path,
+            index_path,
+            id_index_path,
+        });
+        self.entries.sort_by_key(|e| e.step);
+        Ok(())
+    }
+
+    /// Load one timestep as a [`Dataset`].
+    ///
+    /// * `projection` restricts the columns read from disk (pass `None` for
+    ///   all columns).
+    /// * `with_indexes` additionally loads the matching bitmap indexes from
+    ///   the `.vdi` sidecar when present.
+    pub fn load(
+        &self,
+        step: usize,
+        projection: Option<&[&str]>,
+        with_indexes: bool,
+    ) -> Result<Dataset> {
+        let entry = self.entry(step)?;
+        let table = format::read_table(&entry.data_path, projection)?;
+        let mut ds = Dataset::from_table(table, step);
+        if with_indexes {
+            if let Some(index_path) = &entry.index_path {
+                let indexes = format::read_indexes(index_path, projection)?;
+                ds.attach_indexes(indexes);
+            }
+            let want_ids = projection.map(|names| names.contains(&"id")).unwrap_or(true);
+            if want_ids {
+                if let Some(id_index_path) = &entry.id_index_path {
+                    ds.attach_id_index(format::read_id_index(id_index_path)?);
+                }
+            }
+        }
+        Ok(ds)
+    }
+
+    /// Total on-disk size of the catalog in bytes (data plus indexes).
+    pub fn total_size_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for e in &self.entries {
+            total += std::fs::metadata(&e.data_path)?.len();
+            if let Some(p) = &e.index_path {
+                total += std::fs::metadata(p)?.len();
+            }
+            if let Some(p) = &e.id_index_path {
+                total += std::fs::metadata(p)?.len();
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn table(n: usize, seed: u64) -> ParticleTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let px: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e11)).collect();
+        let id: Vec<u64> = (0..n as u64).collect();
+        ParticleTable::from_columns(vec![
+            Column::float("x", x),
+            Column::float("px", px),
+            Column::id("id", id),
+        ])
+        .unwrap()
+    }
+
+    fn temp_catalog_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vdx_catalog_test_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn write_open_and_load_roundtrip() {
+        let dir = temp_catalog_dir("roundtrip");
+        let mut cat = Catalog::create(&dir).unwrap();
+        for step in [3usize, 1, 2] {
+            cat.write_timestep(step, &table(200, step as u64), Some(&Binning::EqualWidth { bins: 16 }))
+                .unwrap();
+        }
+        assert_eq!(cat.steps(), vec![1, 2, 3]);
+
+        // Re-open from disk and verify discovery.
+        let reopened = Catalog::open(&dir).unwrap();
+        assert_eq!(reopened.steps(), vec![1, 2, 3]);
+        assert!(reopened.entry(2).unwrap().index_path.is_some());
+        assert!(reopened.entry(9).is_err());
+        assert!(reopened.total_size_bytes().unwrap() > 0);
+
+        let ds = reopened.load(2, None, true).unwrap();
+        assert_eq!(ds.num_particles(), 200);
+        assert_eq!(ds.step(), 2);
+        assert_eq!(ds.indexed_columns(), vec!["px", "x"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn projection_load_restricts_columns_and_indexes() {
+        let dir = temp_catalog_dir("projection");
+        let mut cat = Catalog::create(&dir).unwrap();
+        cat.write_timestep(0, &table(150, 5), Some(&Binning::EqualWidth { bins: 8 }))
+            .unwrap();
+        let ds = cat.load(0, Some(&["px"]), true).unwrap();
+        assert_eq!(ds.table().column_names(), vec!["px"]);
+        assert_eq!(ds.indexed_columns(), vec!["px"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_without_indexes_still_queries_by_scan() {
+        let dir = temp_catalog_dir("noindex");
+        let mut cat = Catalog::create(&dir).unwrap();
+        cat.write_timestep(0, &table(300, 9), None).unwrap();
+        let ds = cat.load(0, None, true).unwrap();
+        assert!(ds.indexed_columns().is_empty());
+        let sel = ds.query_str("px > 5e10").unwrap();
+        let expected = table(300, 9)
+            .float_column("px")
+            .unwrap()
+            .iter()
+            .filter(|&&v| v > 5e10)
+            .count();
+        assert_eq!(sel.count() as usize, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewriting_a_timestep_replaces_the_entry() {
+        let dir = temp_catalog_dir("rewrite");
+        let mut cat = Catalog::create(&dir).unwrap();
+        cat.write_timestep(4, &table(50, 1), None).unwrap();
+        cat.write_timestep(4, &table(75, 2), None).unwrap();
+        assert_eq!(cat.num_timesteps(), 1);
+        assert_eq!(cat.load(4, None, false).unwrap().num_particles(), 75);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,108 @@
+//! Columns: named, typed arrays of per-particle values.
+
+/// The payload of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Floating-point values (positions, momenta, derived quantities).
+    Float(Vec<f64>),
+    /// Unsigned integer identifiers (the particle ID column).
+    Id(Vec<u64>),
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Id(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the float values, when this is a float column.
+    pub fn as_float(&self) -> Option<&[f64]> {
+        match self {
+            ColumnData::Float(v) => Some(v),
+            ColumnData::Id(_) => None,
+        }
+    }
+
+    /// Borrow the identifier values, when this is an ID column.
+    pub fn as_id(&self) -> Option<&[u64]> {
+        match self {
+            ColumnData::Id(v) => Some(v),
+            ColumnData::Float(_) => None,
+        }
+    }
+
+    /// Size of the raw values in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.len() * 8
+    }
+}
+
+/// A named column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column (variable) name, e.g. `"px"`.
+    pub name: String,
+    /// The values.
+    pub data: ColumnData,
+}
+
+impl Column {
+    /// A float column.
+    pub fn float(name: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            name: name.into(),
+            data: ColumnData::Float(values),
+        }
+    }
+
+    /// An identifier column.
+    pub fn id(name: impl Into<String>, values: Vec<u64>) -> Self {
+        Self {
+            name: name.into(),
+            data: ColumnData::Id(values),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let f = Column::float("px", vec![1.0, 2.0]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.data.as_float(), Some(&[1.0, 2.0][..]));
+        assert!(f.data.as_id().is_none());
+
+        let i = Column::id("id", vec![7, 8, 9]);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.data.as_id(), Some(&[7, 8, 9][..]));
+        assert!(i.data.as_float().is_none());
+        assert_eq!(i.data.byte_len(), 24);
+    }
+
+    #[test]
+    fn empty_detection() {
+        assert!(Column::float("x", vec![]).is_empty());
+        assert!(!Column::id("id", vec![1]).is_empty());
+    }
+}

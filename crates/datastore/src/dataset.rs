@@ -1,0 +1,253 @@
+//! The FastQuery-style dataset facade for one timestep.
+
+use std::collections::HashMap;
+
+use fastbit::{
+    evaluate_query, BitmapIndex, ColumnProvider, HistogramEngine, IdIndex, QueryExpr, Selection,
+};
+use histogram::Binning;
+
+use crate::error::{DataStoreError, Result};
+use crate::table::ParticleTable;
+
+/// One timestep's worth of particle data together with whatever indexes have
+/// been built or loaded for it.
+///
+/// `Dataset` implements [`ColumnProvider`], so the fastbit query evaluator
+/// and [`HistogramEngine`] can read columns and indexes from it directly;
+/// this mirrors the implementation-neutral API of HDF5-FastQuery.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    table: ParticleTable,
+    indexes: HashMap<String, BitmapIndex>,
+    id_index: Option<IdIndex>,
+    step: usize,
+}
+
+impl Dataset {
+    /// Wrap an in-memory table as timestep `step`, with no indexes attached.
+    pub fn from_table(table: ParticleTable, step: usize) -> Self {
+        Self {
+            table,
+            indexes: HashMap::new(),
+            id_index: None,
+            step,
+        }
+    }
+
+    /// The timestep number this dataset belongs to.
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// Number of particles.
+    pub fn num_particles(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// The underlying columnar table.
+    pub fn table(&self) -> &ParticleTable {
+        &self.table
+    }
+
+    /// Build bitmap indexes over every float column using `binning`
+    /// (the one-time preprocessing step of the paper's Figure 1).
+    pub fn build_indexes(&mut self, binning: &Binning) -> Result<()> {
+        for column in self.table.columns() {
+            if let Some(values) = column.data.as_float() {
+                let idx = BitmapIndex::build(values, binning)?;
+                self.indexes.insert(column.name.clone(), idx);
+            }
+        }
+        Ok(())
+    }
+
+    /// Attach indexes loaded from a `.vdi` sidecar file.
+    pub fn attach_indexes(&mut self, indexes: Vec<(String, BitmapIndex)>) {
+        for (name, idx) in indexes {
+            self.indexes.insert(name, idx);
+        }
+    }
+
+    /// Build the identifier index over the `id` column, enabling
+    /// `ID IN (…)` particle-tracking queries.
+    pub fn build_id_index(&mut self) -> Result<()> {
+        let ids = self.table.id_column("id")?;
+        self.id_index = Some(IdIndex::build(ids));
+        Ok(())
+    }
+
+    /// Attach an identifier index loaded from a `.vdj` sidecar file.
+    pub fn attach_id_index(&mut self, index: IdIndex) {
+        self.id_index = Some(index);
+    }
+
+    /// The identifier index, if it has been built.
+    pub fn id_index(&self) -> Option<&IdIndex> {
+        self.id_index.as_ref()
+    }
+
+    /// Names of the columns with a bitmap index attached.
+    pub fn indexed_columns(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.indexes.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Drain the bitmap indexes for persistence.
+    pub fn take_indexes(&mut self) -> Vec<(String, BitmapIndex)> {
+        let mut out: Vec<(String, BitmapIndex)> = self.indexes.drain().collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Total size of the attached bitmap indexes in bytes.
+    pub fn index_size_bytes(&self) -> usize {
+        self.indexes.values().map(BitmapIndex::size_in_bytes).sum()
+    }
+
+    /// Evaluate a compound Boolean range query, using indexes when available.
+    pub fn query(&self, expr: &QueryExpr) -> Result<Selection> {
+        evaluate_query(expr, self).map_err(DataStoreError::from)
+    }
+
+    /// Evaluate a textual query such as `"px > 8.872e10 && y > 0"`.
+    pub fn query_str(&self, text: &str) -> Result<Selection> {
+        let expr = fastbit::parse_query(text)?;
+        self.query(&expr)
+    }
+
+    /// Select the rows whose particle identifier appears in `ids`. Uses the
+    /// identifier index when built, otherwise falls back to a scan.
+    pub fn select_ids(&self, ids: &[u64]) -> Result<Selection> {
+        match &self.id_index {
+            Some(idx) => Ok(idx.select(ids)),
+            None => {
+                let column = self.table.id_column("id")?;
+                Ok(fastbit::scan::scan_id_search(column, ids))
+            }
+        }
+    }
+
+    /// The particle identifiers of the selected rows.
+    pub fn ids_of(&self, selection: &Selection) -> Result<Vec<u64>> {
+        let ids = self.table.id_column("id")?;
+        Ok(selection.gather_u64(ids))
+    }
+
+    /// Histogram computation facade bound to this dataset.
+    pub fn hist_engine(&self) -> HistogramEngine<'_, Self> {
+        HistogramEngine::new(self)
+    }
+
+    /// Extract the selected rows into a new (small) table for downstream
+    /// processing — the data-subsetting path of the paper's pipeline.
+    pub fn extract(&self, selection: &Selection) -> ParticleTable {
+        self.table.gather_rows(&selection.to_rows())
+    }
+}
+
+impl ColumnProvider for Dataset {
+    fn num_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    fn column(&self, name: &str) -> Option<&[f64]> {
+        self.table.column(name).and_then(|c| c.data.as_float())
+    }
+
+    fn index(&self, name: &str) -> Option<&BitmapIndex> {
+        self.indexes.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use fastbit::ValueRange;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(21);
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e-3)).collect();
+        let px: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e11)).collect();
+        let id: Vec<u64> = (0..n as u64).collect();
+        let table = ParticleTable::from_columns(vec![
+            Column::float("x", x),
+            Column::float("px", px),
+            Column::id("id", id),
+        ])
+        .unwrap();
+        Dataset::from_table(table, 7)
+    }
+
+    #[test]
+    fn query_with_and_without_indexes_agrees() {
+        let mut d = dataset(5000);
+        let expr = fastbit::parse_query("px > 5e10 && x < 5e-4").unwrap();
+        let unindexed = d.query(&expr).unwrap();
+        d.build_indexes(&Binning::EqualWidth { bins: 64 }).unwrap();
+        assert_eq!(d.indexed_columns(), vec!["px", "x"]);
+        let indexed = d.query(&expr).unwrap();
+        assert_eq!(unindexed.to_rows(), indexed.to_rows());
+        assert!(d.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn query_str_parses_and_evaluates() {
+        let d = dataset(1000);
+        let sel = d.query_str("px > 9.5e10").unwrap();
+        let expected = d.column("px").unwrap().iter().filter(|&&v| v > 9.5e10).count();
+        assert_eq!(sel.count() as usize, expected);
+        assert!(d.query_str("px >").is_err());
+    }
+
+    #[test]
+    fn id_selection_with_and_without_index() {
+        let mut d = dataset(2000);
+        let wanted = vec![5u64, 100, 1999, 4242];
+        let scanned = d.select_ids(&wanted).unwrap();
+        d.build_id_index().unwrap();
+        let indexed = d.select_ids(&wanted).unwrap();
+        assert_eq!(scanned.to_rows(), indexed.to_rows());
+        assert_eq!(indexed.to_rows(), vec![5, 100, 1999]);
+        assert_eq!(d.ids_of(&indexed).unwrap(), vec![5, 100, 1999]);
+    }
+
+    #[test]
+    fn extract_builds_subset_table() {
+        let d = dataset(100);
+        let sel = d.query(&QueryExpr::pred("px", ValueRange::gt(5e10))).unwrap();
+        let sub = d.extract(&sel);
+        assert_eq!(sub.num_rows() as u64, sel.count());
+        assert!(sub.float_column("px").unwrap().iter().all(|&v| v > 5e10));
+    }
+
+    #[test]
+    fn hist_engine_reads_through_provider() {
+        let mut d = dataset(3000);
+        d.build_indexes(&Binning::EqualWidth { bins: 32 }).unwrap();
+        let h = d
+            .hist_engine()
+            .hist2d(
+                "x",
+                "px",
+                &fastbit::hist::BinSpec::Uniform(32),
+                &fastbit::hist::BinSpec::Uniform(32),
+                None,
+                fastbit::hist::HistEngine::FastBit,
+            )
+            .unwrap();
+        assert_eq!(h.total(), 3000);
+    }
+
+    #[test]
+    fn take_indexes_is_sorted_and_empties_the_map() {
+        let mut d = dataset(500);
+        d.build_indexes(&Binning::EqualWidth { bins: 16 }).unwrap();
+        let taken = d.take_indexes();
+        assert_eq!(taken.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(), vec!["px", "x"]);
+        assert!(d.indexed_columns().is_empty());
+    }
+}

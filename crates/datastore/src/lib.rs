@@ -1,0 +1,34 @@
+//! Columnar particle storage and the implementation-neutral query API.
+//!
+//! The paper stores simulation output in HDF5 and accesses it through
+//! HDF5-FastQuery, a veneer that exposes query evaluation and histogram
+//! computation without tying callers to a specific index implementation.
+//! This crate plays both roles:
+//!
+//! * [`table::ParticleTable`] — an in-memory columnar table of particles
+//!   (positions, momenta, identifiers, derived quantities).
+//! * [`format`] — a small binary timestep file format (`.vdc`) with
+//!   column-projection reads, so a reader only touches the columns named in
+//!   the pipeline contract, plus a sidecar index file (`.vdi`) holding the
+//!   per-column WAH bitmap indexes produced by the one-time preprocessing
+//!   step.
+//! * [`catalog::Catalog`] — a directory of timestep files; the unit of
+//!   parallel work distribution in the scalability experiments.
+//! * [`dataset::Dataset`] — the FastQuery-style facade: it implements
+//!   [`fastbit::ColumnProvider`] and offers query evaluation, conditional
+//!   histograms and ID selection over one timestep.
+
+#![deny(missing_docs)]
+
+pub mod catalog;
+pub mod column;
+pub mod dataset;
+pub mod error;
+pub mod format;
+pub mod table;
+
+pub use catalog::{Catalog, TimestepEntry};
+pub use column::{Column, ColumnData};
+pub use dataset::Dataset;
+pub use error::{DataStoreError, Result};
+pub use table::{ParticleTable, STANDARD_COLUMNS};

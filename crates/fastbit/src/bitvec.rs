@@ -1,0 +1,211 @@
+//! Plain (uncompressed) bit vectors.
+//!
+//! Used as the scratch representation when building indexes and as the
+//! uncompressed comparison point for the WAH ablation benchmarks.
+
+/// An uncompressed bit vector backed by 64-bit words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    nbits: usize,
+}
+
+impl BitVec {
+    /// A bit vector of `nbits` zero bits.
+    pub fn zeros(nbits: usize) -> Self {
+        Self {
+            words: vec![0; nbits.div_ceil(64)],
+            nbits,
+        }
+    }
+
+    /// A bit vector of `nbits` one bits.
+    pub fn ones(nbits: usize) -> Self {
+        let mut v = Self {
+            words: vec![u64::MAX; nbits.div_ceil(64)],
+            nbits,
+        };
+        v.clear_padding();
+        v
+    }
+
+    /// Build from an iterator of set-bit positions. Positions may repeat and
+    /// arrive in any order; they must be `< nbits`.
+    pub fn from_indices(nbits: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut v = Self::zeros(nbits);
+        for i in indices {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Logical length in bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// True when the vector holds no bits at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Read bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// Iterate over the positions of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let tz = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// In-place bitwise AND. Both operands must have the same length.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.nbits, other.nbits, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place bitwise OR. Both operands must have the same length.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.nbits, other.nbits, "length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place bitwise NOT (restricted to the logical length).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.clear_padding();
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn clear_padding(&mut self) {
+        let rem = self.nbits % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        assert_eq!(v.len(), 130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_respects_padding() {
+        let v = BitVec::ones(70);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v.iter_ones().count(), 70);
+        assert_eq!(v.iter_ones().last(), Some(69));
+    }
+
+    #[test]
+    fn logical_operations() {
+        let mut a = BitVec::from_indices(100, [1, 5, 50, 99]);
+        let b = BitVec::from_indices(100, [5, 50, 60]);
+        let mut o = a.clone();
+        a.and_assign(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![5, 50]);
+        o.or_assign(&b);
+        assert_eq!(o.iter_ones().collect::<Vec<_>>(), vec![1, 5, 50, 60, 99]);
+    }
+
+    #[test]
+    fn not_clears_padding_bits() {
+        let mut v = BitVec::zeros(70);
+        v.not_assign();
+        assert_eq!(v.count_ones(), 70);
+        v.not_assign();
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let bools: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let v = BitVec::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(v.get(i), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let v = BitVec::zeros(10);
+        v.get(10);
+    }
+}

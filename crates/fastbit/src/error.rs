@@ -1,0 +1,62 @@
+//! Error type shared by the index/query layer.
+
+use std::fmt;
+
+/// Errors produced by index construction and query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FastBitError {
+    /// Two bit vectors participating in a logical operation had different
+    /// logical lengths.
+    LengthMismatch {
+        /// Length of the left operand in bits.
+        left: u64,
+        /// Length of the right operand in bits.
+        right: u64,
+    },
+    /// A named column was not available from the [`crate::query::ColumnProvider`].
+    UnknownColumn(String),
+    /// The query string could not be parsed.
+    Parse(String),
+    /// Binning / histogram shape errors bubbled up from the histogram crate.
+    Binning(histogram::BinningError),
+    /// A query referenced rows outside the indexed row count.
+    RowCountMismatch {
+        /// Rows known to the index.
+        index_rows: usize,
+        /// Rows in the supplied raw column.
+        data_rows: usize,
+    },
+    /// An operation that requires raw column data (candidate check, adaptive
+    /// binning of a selection) was invoked without it.
+    RawDataRequired(String),
+}
+
+impl fmt::Display for FastBitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastBitError::LengthMismatch { left, right } => {
+                write!(f, "bit vector length mismatch: {left} vs {right}")
+            }
+            FastBitError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            FastBitError::Parse(msg) => write!(f, "query parse error: {msg}"),
+            FastBitError::Binning(e) => write!(f, "binning error: {e}"),
+            FastBitError::RowCountMismatch { index_rows, data_rows } => {
+                write!(f, "row count mismatch: index has {index_rows}, data has {data_rows}")
+            }
+            FastBitError::RawDataRequired(what) => {
+                write!(f, "raw column data required for {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastBitError {}
+
+impl From<histogram::BinningError> for FastBitError {
+    fn from(e: histogram::BinningError) -> Self {
+        FastBitError::Binning(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, FastBitError>;

@@ -1,0 +1,404 @@
+//! Unconditional and conditional histogram computation.
+//!
+//! The paper's visual pipeline never ships raw particle data downstream; it
+//! ships histograms. Two kinds are needed (Section V-A):
+//!
+//! * **Unconditional histograms** — one-time computation over the whole
+//!   dataset, providing the initial context view.
+//! * **Conditional histograms** — recomputed every time the user refines the
+//!   selection; the condition is a compound Boolean range query. FastBit
+//!   evaluates the condition first (producing an intermediate list of hits)
+//!   and then bins only the hits, which is why it wins when selections are
+//!   small and loses to a straight scan when nearly everything is selected.
+//!
+//! [`HistogramEngine`] exposes both, with a FastBit-style indexed path and a
+//! "Custom" scan path so the two can be benchmarked against each other as in
+//! Figures 11, 12 and 14.
+
+use histogram::{rebin_equal_weight, BinEdges, Hist1D, Hist2D};
+
+use crate::error::{FastBitError, Result};
+use crate::query::{evaluate_with_strategy, ColumnProvider, ExecStrategy, QueryExpr};
+use crate::selection::Selection;
+
+/// How histogram bins should be chosen.
+#[derive(Debug, Clone)]
+pub enum BinSpec {
+    /// `n` uniform (equal-width) bins spanning the data range.
+    Uniform(usize),
+    /// About `n` adaptive (equal-weight) bins derived from the data
+    /// distribution.
+    Adaptive(usize),
+    /// Explicit, caller-supplied edges.
+    Edges(BinEdges),
+}
+
+impl BinSpec {
+    /// Requested number of bins (exact for uniform/explicit, a target for
+    /// adaptive).
+    pub fn bins(&self) -> usize {
+        match self {
+            BinSpec::Uniform(n) | BinSpec::Adaptive(n) => *n,
+            BinSpec::Edges(e) => e.num_bins(),
+        }
+    }
+}
+
+/// Which implementation computes the histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistEngine {
+    /// Index-accelerated path (FastBit in the paper's charts).
+    FastBit,
+    /// Sequential scan of the raw data (the "Custom" baseline).
+    Custom,
+}
+
+/// Histogram computation facade over a [`ColumnProvider`].
+pub struct HistogramEngine<'a, P: ColumnProvider> {
+    provider: &'a P,
+}
+
+impl<'a, P: ColumnProvider> HistogramEngine<'a, P> {
+    /// Create an engine reading columns (and indexes) from `provider`.
+    pub fn new(provider: &'a P) -> Self {
+        Self { provider }
+    }
+
+    fn column(&self, name: &str) -> Result<&'a [f64]> {
+        self.provider
+            .column(name)
+            .ok_or_else(|| FastBitError::UnknownColumn(name.to_string()))
+    }
+
+    /// Resolve bin edges for `column` under `spec`, optionally restricted to
+    /// the rows of `selection` (conditional adaptive binning needs the
+    /// selected values' own min/max and distribution, which is exactly the
+    /// extra cost the paper observes for adaptive conditional histograms on
+    /// large selections).
+    pub fn resolve_edges(
+        &self,
+        column: &str,
+        spec: &BinSpec,
+        selection: Option<&Selection>,
+        engine: HistEngine,
+    ) -> Result<BinEdges> {
+        match spec {
+            BinSpec::Edges(e) => Ok(e.clone()),
+            BinSpec::Uniform(n) => match selection {
+                None => {
+                    // Unconditional: the index already knows the value range.
+                    if engine == HistEngine::FastBit {
+                        if let Some(idx) = self.provider.index(column) {
+                            return Ok(BinEdges::uniform(idx.edges().lo(), idx.edges().hi(), *n)?);
+                        }
+                    }
+                    let data = self.column(column)?;
+                    Ok(BinEdges::uniform_from_data(data, *n)?)
+                }
+                Some(sel) => {
+                    let data = self.column(column)?;
+                    let values = sel.gather(data);
+                    if values.is_empty() {
+                        return Ok(BinEdges::uniform_from_data(data, *n)?);
+                    }
+                    Ok(BinEdges::uniform_from_data(&values, *n)?)
+                }
+            },
+            BinSpec::Adaptive(n) => match selection {
+                None => {
+                    if engine == HistEngine::FastBit {
+                        if let Some(idx) = self.provider.index(column) {
+                            // FastBit derives adaptive bins by merging the
+                            // fine index bins so each coarse bin holds about
+                            // the same number of records.
+                            let fine = Hist1D::from_counts(idx.edges().clone(), idx.bin_counts())?;
+                            return Ok(rebin_equal_weight(&fine, *n)?);
+                        }
+                    }
+                    let data = self.column(column)?;
+                    Ok(BinEdges::equal_weight_from_data(data, *n)?)
+                }
+                Some(sel) => {
+                    let data = self.column(column)?;
+                    let values = sel.gather(data);
+                    if values.is_empty() {
+                        return Ok(BinEdges::uniform_from_data(data, *n)?);
+                    }
+                    Ok(BinEdges::equal_weight_from_data(&values, *n)?)
+                }
+            },
+        }
+    }
+
+    /// Evaluate the condition of a conditional histogram.
+    pub fn evaluate_condition(&self, condition: &QueryExpr, engine: HistEngine) -> Result<Selection> {
+        let strategy = match engine {
+            HistEngine::FastBit => ExecStrategy::Auto,
+            HistEngine::Custom => ExecStrategy::ScanOnly,
+        };
+        evaluate_with_strategy(condition, self.provider, strategy)
+    }
+
+    /// Compute a 1D histogram of `column`.
+    pub fn hist1d(
+        &self,
+        column: &str,
+        spec: &BinSpec,
+        condition: Option<&QueryExpr>,
+        engine: HistEngine,
+    ) -> Result<Hist1D> {
+        let selection = condition
+            .map(|c| self.evaluate_condition(c, engine))
+            .transpose()?;
+        let edges = self.resolve_edges(column, spec, selection.as_ref(), engine)?;
+
+        // Pure-index fast path: unconditional, uniform request whose bins can
+        // be read straight off the index bin counts.
+        if engine == HistEngine::FastBit && selection.is_none() {
+            if let Some(idx) = self.provider.index(column) {
+                if idx.edges() == &edges {
+                    return Ok(Hist1D::from_counts(edges, idx.bin_counts())?);
+                }
+            }
+        }
+
+        let data = self.column(column)?;
+        Ok(match &selection {
+            None => Hist1D::from_data(edges, data),
+            Some(sel) => Hist1D::from_data_masked(edges, data, sel.iter_rows()),
+        })
+    }
+
+    /// Compute a 2D histogram of the pair `(x_column, y_column)` — the unit
+    /// of work for one pair of adjacent parallel-coordinate axes.
+    pub fn hist2d(
+        &self,
+        x_column: &str,
+        y_column: &str,
+        x_spec: &BinSpec,
+        y_spec: &BinSpec,
+        condition: Option<&QueryExpr>,
+        engine: HistEngine,
+    ) -> Result<Hist2D> {
+        let selection = condition
+            .map(|c| self.evaluate_condition(c, engine))
+            .transpose()?;
+        self.hist2d_with_selection(x_column, y_column, x_spec, y_spec, selection.as_ref(), engine)
+    }
+
+    /// Same as [`HistogramEngine::hist2d`] but reusing an already evaluated
+    /// selection; this is what the pipeline does when several axis pairs are
+    /// histogrammed under one condition.
+    pub fn hist2d_with_selection(
+        &self,
+        x_column: &str,
+        y_column: &str,
+        x_spec: &BinSpec,
+        y_spec: &BinSpec,
+        selection: Option<&Selection>,
+        engine: HistEngine,
+    ) -> Result<Hist2D> {
+        let x_edges = self.resolve_edges(x_column, x_spec, selection, engine)?;
+        let y_edges = self.resolve_edges(y_column, y_spec, selection, engine)?;
+        let xs = self.column(x_column)?;
+        let ys = self.column(y_column)?;
+        if xs.len() != ys.len() {
+            return Err(FastBitError::RowCountMismatch {
+                index_rows: xs.len(),
+                data_rows: ys.len(),
+            });
+        }
+        Ok(match selection {
+            None => Hist2D::from_data(x_edges, y_edges, xs, ys),
+            Some(sel) => {
+                sel.check_rows(xs.len())?;
+                Hist2D::from_data_masked(x_edges, y_edges, xs, ys, sel.iter_rows())
+            }
+        })
+    }
+
+    /// Compute the 2D histograms of several adjacent axis pairs under one
+    /// shared condition — the per-timestep work unit of the parallel
+    /// histogram benchmark (five position/momentum pairs in Section V-C).
+    pub fn hist2d_pairs(
+        &self,
+        pairs: &[(String, String)],
+        spec: &BinSpec,
+        condition: Option<&QueryExpr>,
+        engine: HistEngine,
+    ) -> Result<Vec<Hist2D>> {
+        let selection = condition
+            .map(|c| self.evaluate_condition(c, engine))
+            .transpose()?;
+        pairs
+            .iter()
+            .map(|(x, y)| {
+                self.hist2d_with_selection(x, y, spec, spec, selection.as_ref(), engine)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::BitmapIndex;
+    use crate::query::ValueRange;
+    use histogram::Binning;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    struct MemProvider {
+        columns: HashMap<String, Vec<f64>>,
+        indexes: HashMap<String, BitmapIndex>,
+        rows: usize,
+    }
+
+    impl ColumnProvider for MemProvider {
+        fn num_rows(&self) -> usize {
+            self.rows
+        }
+        fn column(&self, name: &str) -> Option<&[f64]> {
+            self.columns.get(name).map(|v| v.as_slice())
+        }
+        fn index(&self, name: &str) -> Option<&BitmapIndex> {
+            self.indexes.get(name)
+        }
+    }
+
+    fn provider(n: usize) -> MemProvider {
+        let mut rng = StdRng::seed_from_u64(42);
+        let px: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e11)).collect();
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e-3)).collect();
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+        let mut columns = HashMap::new();
+        let mut indexes = HashMap::new();
+        for (name, data) in [("px", px), ("x", x), ("y", y)] {
+            indexes.insert(
+                name.to_string(),
+                BitmapIndex::build(&data, &Binning::EqualWidth { bins: 128 }).unwrap(),
+            );
+            columns.insert(name.to_string(), data);
+        }
+        MemProvider {
+            columns,
+            indexes,
+            rows: n,
+        }
+    }
+
+    #[test]
+    fn unconditional_hist2d_engines_agree() {
+        let p = provider(5000);
+        let engine = HistogramEngine::new(&p);
+        let fast = engine
+            .hist2d("x", "px", &BinSpec::Uniform(64), &BinSpec::Uniform(64), None, HistEngine::FastBit)
+            .unwrap();
+        let custom = engine
+            .hist2d("x", "px", &BinSpec::Uniform(64), &BinSpec::Uniform(64), None, HistEngine::Custom)
+            .unwrap();
+        assert_eq!(fast.total(), 5000);
+        assert_eq!(custom.total(), 5000);
+        // Engines may pick marginally different ranges (index boundaries vs
+        // exact data min/max), so compare totals and coarse structure.
+        assert_eq!(fast.shape(), custom.shape());
+    }
+
+    #[test]
+    fn conditional_hist_counts_only_hits() {
+        let p = provider(8000);
+        let engine = HistogramEngine::new(&p);
+        let cond = QueryExpr::pred("px", ValueRange::gt(9e10));
+        let expected_hits = p.columns["px"].iter().filter(|&&v| v > 9e10).count() as u64;
+        for eng in [HistEngine::FastBit, HistEngine::Custom] {
+            let h = engine
+                .hist2d("x", "px", &BinSpec::Uniform(32), &BinSpec::Uniform(32), Some(&cond), eng)
+                .unwrap();
+            assert_eq!(h.total(), expected_hits, "engine {eng:?}");
+        }
+    }
+
+    #[test]
+    fn conditional_hist_engines_agree_exactly_with_shared_edges() {
+        let p = provider(4000);
+        let engine = HistogramEngine::new(&p);
+        let cond = QueryExpr::pred("y", ValueRange::between(-10.0, 10.0));
+        let edges = BinEdges::uniform(0.0, 1e11, 64).unwrap();
+        let spec = BinSpec::Edges(edges);
+        let xspec = BinSpec::Edges(BinEdges::uniform(0.0, 1e-3, 64).unwrap());
+        let fast = engine
+            .hist2d("x", "px", &xspec, &spec, Some(&cond), HistEngine::FastBit)
+            .unwrap();
+        let custom = engine
+            .hist2d("x", "px", &xspec, &spec, Some(&cond), HistEngine::Custom)
+            .unwrap();
+        assert_eq!(fast.counts(), custom.counts());
+    }
+
+    #[test]
+    fn hist1d_pure_index_path_matches_scan() {
+        let p = provider(6000);
+        let engine = HistogramEngine::new(&p);
+        // Ask for edges equal to the index edges: the FastBit path must not
+        // touch the raw data and still produce identical counts.
+        let idx_edges = p.indexes["px"].edges().clone();
+        let fast = engine
+            .hist1d("px", &BinSpec::Edges(idx_edges.clone()), None, HistEngine::FastBit)
+            .unwrap();
+        let custom = engine
+            .hist1d("px", &BinSpec::Edges(idx_edges), None, HistEngine::Custom)
+            .unwrap();
+        assert_eq!(fast.counts(), custom.counts());
+    }
+
+    #[test]
+    fn adaptive_bins_balance_selected_mass() {
+        let p = provider(10_000);
+        let engine = HistogramEngine::new(&p);
+        let h = engine
+            .hist1d("px", &BinSpec::Adaptive(16), None, HistEngine::FastBit)
+            .unwrap();
+        assert!(h.num_bins() <= 16 && h.num_bins() >= 4);
+        let ideal = h.total() as f64 / h.num_bins() as f64;
+        for i in 0..h.num_bins() {
+            assert!((h.count(i) as f64) < ideal * 3.0);
+        }
+    }
+
+    #[test]
+    fn empty_selection_produces_empty_histogram() {
+        let p = provider(1000);
+        let engine = HistogramEngine::new(&p);
+        let cond = QueryExpr::pred("px", ValueRange::gt(1e30));
+        let h = engine
+            .hist2d("x", "px", &BinSpec::Uniform(16), &BinSpec::Uniform(16), Some(&cond), HistEngine::FastBit)
+            .unwrap();
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn hist2d_pairs_shares_the_condition() {
+        let p = provider(3000);
+        let engine = HistogramEngine::new(&p);
+        let cond = QueryExpr::pred("px", ValueRange::gt(5e10));
+        let pairs = vec![
+            ("x".to_string(), "px".to_string()),
+            ("y".to_string(), "px".to_string()),
+        ];
+        let hists = engine
+            .hist2d_pairs(&pairs, &BinSpec::Uniform(32), Some(&cond), HistEngine::FastBit)
+            .unwrap();
+        assert_eq!(hists.len(), 2);
+        let hits = p.columns["px"].iter().filter(|&&v| v > 5e10).count() as u64;
+        assert!(hists.iter().all(|h| h.total() == hits));
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let p = provider(100);
+        let engine = HistogramEngine::new(&p);
+        assert!(engine
+            .hist1d("nope", &BinSpec::Uniform(8), None, HistEngine::Custom)
+            .is_err());
+    }
+}

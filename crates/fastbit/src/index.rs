@@ -1,0 +1,399 @@
+//! Binned bitmap indexes over floating-point columns and the identifier
+//! index used for particle tracking.
+
+use histogram::{BinEdges, Binning};
+
+use crate::error::{FastBitError, Result};
+use crate::query::ValueRange;
+use crate::selection::Selection;
+use crate::wah::Wah;
+
+/// A binned, WAH-compressed bitmap index over one floating-point column.
+///
+/// Construction picks bin boundaries according to a [`Binning`] strategy and
+/// stores one compressed bitmap per bin; bit `r` of bitmap `i` is set when
+/// row `r` falls in bin `i`. Range queries OR together the bitmaps of bins
+/// fully inside the range and perform a *candidate check* against the raw
+/// column for the (at most two) partially covered boundary bins, exactly as
+/// FastBit does for binned indexes.
+#[derive(Debug, Clone)]
+pub struct BitmapIndex {
+    edges: BinEdges,
+    bitmaps: Vec<Wah>,
+    num_rows: usize,
+    /// Rows whose value fell outside the binned range (NaN or out of bounds).
+    unbinned: Vec<u32>,
+}
+
+impl BitmapIndex {
+    /// Build an index over `data` using the given binning strategy.
+    pub fn build(data: &[f64], binning: &Binning) -> Result<Self> {
+        let edges = BinEdges::from_strategy(data, binning)?;
+        Self::build_with_edges(data, edges)
+    }
+
+    /// Build an index over `data` using pre-computed bin boundaries.
+    pub fn build_with_edges(data: &[f64], edges: BinEdges) -> Result<Self> {
+        let nbins = edges.num_bins();
+        let mut rows_per_bin: Vec<Vec<u64>> = vec![Vec::new(); nbins];
+        let mut unbinned = Vec::new();
+        for (row, &v) in data.iter().enumerate() {
+            match edges.locate(v) {
+                Some(bin) => rows_per_bin[bin].push(row as u64),
+                None => unbinned.push(row as u32),
+            }
+        }
+        let n = data.len() as u64;
+        let bitmaps = rows_per_bin
+            .into_iter()
+            .map(|rows| Wah::from_sorted_indices(n, rows))
+            .collect();
+        Ok(Self {
+            edges,
+            bitmaps,
+            num_rows: data.len(),
+            unbinned,
+        })
+    }
+
+    /// Reassemble an index from persisted parts (bin edges, one bitmap per
+    /// bin, the indexed row count and the rows left unbinned). Used by the
+    /// datastore layer when loading a sidecar index file.
+    pub fn from_parts(
+        edges: BinEdges,
+        bitmaps: Vec<Wah>,
+        num_rows: usize,
+        unbinned: Vec<u32>,
+    ) -> Result<Self> {
+        if bitmaps.len() != edges.num_bins() {
+            return Err(FastBitError::Binning(histogram::BinningError::ShapeMismatch {
+                expected: edges.num_bins(),
+                found: bitmaps.len(),
+            }));
+        }
+        for b in &bitmaps {
+            if b.len() != num_rows as u64 {
+                return Err(FastBitError::LengthMismatch {
+                    left: num_rows as u64,
+                    right: b.len(),
+                });
+            }
+        }
+        Ok(Self {
+            edges,
+            bitmaps,
+            num_rows,
+            unbinned,
+        })
+    }
+
+    /// Bin boundaries used by the index.
+    pub fn edges(&self) -> &BinEdges {
+        &self.edges
+    }
+
+    /// Number of indexed rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bitmaps.len()
+    }
+
+    /// Per-bin record counts, obtained from the bitmaps alone. This is the
+    /// fast path for unconditional 1D histograms whose bins coincide with
+    /// (or merge) the index bins.
+    pub fn bin_counts(&self) -> Vec<u64> {
+        self.bitmaps.iter().map(|b| b.count_ones()).collect()
+    }
+
+    /// Rows that could not be assigned to any bin (NaN values).
+    pub fn unbinned_rows(&self) -> &[u32] {
+        &self.unbinned
+    }
+
+    /// The compressed bitmap of bin `i`.
+    pub fn bitmap(&self, i: usize) -> &Wah {
+        &self.bitmaps[i]
+    }
+
+    /// Total compressed index size in bytes (bitmaps plus boundaries).
+    pub fn size_in_bytes(&self) -> usize {
+        self.bitmaps.iter().map(Wah::size_in_bytes).sum::<usize>()
+            + self.edges.boundaries().len() * 8
+            + self.unbinned.len() * 4
+    }
+
+    /// Classify the index bins against a value range.
+    ///
+    /// Returns `(full, partial)` where `full` are bins entirely inside the
+    /// range and `partial` are bins that straddle a range endpoint and
+    /// therefore require a candidate check.
+    fn classify_bins(&self, range: &ValueRange) -> (Vec<usize>, Vec<usize>) {
+        let mut full = Vec::new();
+        let mut partial = Vec::new();
+        for i in 0..self.num_bins() {
+            let (lo, hi) = self.edges.bin_range(i);
+            let last = i + 1 == self.num_bins();
+            // The bin covers values in [lo, hi) except the last bin which is
+            // [lo, hi].
+            let bin_min = lo;
+            let bin_max = if last { hi } else { prev_toward(hi, lo) };
+            let min_in = range.contains(bin_min);
+            let max_in = range.contains(bin_max);
+            if min_in && max_in && range.contains_interval(bin_min, bin_max) {
+                full.push(i);
+            } else if range.overlaps_interval(bin_min, bin_max) {
+                partial.push(i);
+            }
+        }
+        (full, partial)
+    }
+
+    /// Evaluate a range condition using only the index, without access to the
+    /// raw column. Returns `(hits, candidates)`: `hits` are rows guaranteed
+    /// to satisfy the condition; `candidates` are rows in boundary bins that
+    /// may or may not satisfy it.
+    pub fn evaluate_index_only(&self, range: &ValueRange) -> Result<(Selection, Selection)> {
+        let (full, partial) = self.classify_bins(range);
+        let n = self.num_rows as u64;
+        let mut hits = Wah::zeros(n);
+        for i in full {
+            hits = hits.or(&self.bitmaps[i])?;
+        }
+        let mut candidates = Wah::zeros(n);
+        for i in partial {
+            candidates = candidates.or(&self.bitmaps[i])?;
+        }
+        Ok((Selection::from_wah(hits), Selection::from_wah(candidates)))
+    }
+
+    /// Evaluate a range condition exactly, using the raw column for the
+    /// candidate check on boundary bins.
+    pub fn evaluate(&self, range: &ValueRange, data: &[f64]) -> Result<Selection> {
+        if data.len() != self.num_rows {
+            return Err(FastBitError::RowCountMismatch {
+                index_rows: self.num_rows,
+                data_rows: data.len(),
+            });
+        }
+        let (hits, candidates) = self.evaluate_index_only(range)?;
+        if candidates.is_none_selected() {
+            return Ok(hits);
+        }
+        let confirmed: Vec<usize> = candidates
+            .iter_rows()
+            .filter(|&r| range.contains(data[r]))
+            .collect();
+        let confirmed = Selection::from_sorted_rows(self.num_rows, confirmed);
+        hits.or(&confirmed)
+    }
+
+    /// True when the range endpoints coincide with bin boundaries, i.e. the
+    /// query can be answered exactly from the index alone (the reason the
+    /// paper builds indexes with low-precision bin boundaries).
+    pub fn answers_exactly(&self, range: &ValueRange) -> bool {
+        let (_, partial) = self.classify_bins(range);
+        partial.is_empty()
+    }
+}
+
+/// Largest representable f64 strictly less than `x` (bounded below by `lo`).
+fn prev_toward(x: f64, lo: f64) -> f64 {
+    let prev = f64::from_bits(x.to_bits() - 1);
+    prev.max(lo)
+}
+
+/// An index over the particle-identifier column.
+///
+/// Answers `ID IN (id_1 … id_n)` queries — the backbone of particle tracking
+/// across timesteps — in time proportional to the size of the query set and
+/// the number of rows found, rather than to the dataset size.
+#[derive(Debug, Clone)]
+pub struct IdIndex {
+    /// `(id, row)` pairs sorted by id.
+    sorted: Vec<(u64, u32)>,
+    num_rows: usize,
+}
+
+impl IdIndex {
+    /// Build an identifier index over `ids` (one entry per row).
+    pub fn build(ids: &[u64]) -> Self {
+        let mut sorted: Vec<(u64, u32)> = ids
+            .iter()
+            .enumerate()
+            .map(|(row, &id)| (id, row as u32))
+            .collect();
+        sorted.sort_unstable();
+        Self {
+            sorted,
+            num_rows: ids.len(),
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Rows whose identifier equals `id` (usually zero or one).
+    pub fn rows_for(&self, id: u64) -> impl Iterator<Item = usize> + '_ {
+        let start = self.sorted.partition_point(|&(v, _)| v < id);
+        self.sorted[start..]
+            .iter()
+            .take_while(move |&&(v, _)| v == id)
+            .map(|&(_, row)| row as usize)
+    }
+
+    /// The sorted `(id, row)` pairs backing the index, for serialization.
+    pub fn pairs(&self) -> &[(u64, u32)] {
+        &self.sorted
+    }
+
+    /// Reconstruct an index from pairs previously obtained via
+    /// [`IdIndex::pairs`]. The pairs must be sorted by id.
+    pub fn from_sorted_pairs(sorted: Vec<(u64, u32)>, num_rows: usize) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
+        Self { sorted, num_rows }
+    }
+
+    /// Evaluate `ID IN (query_ids)` and return the matching rows.
+    pub fn select(&self, query_ids: &[u64]) -> Selection {
+        let mut rows: Vec<usize> = query_ids.iter().flat_map(|&id| self.rows_for(id)).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        Selection::from_sorted_rows(self.num_rows, rows)
+    }
+
+    /// Approximate index size in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.sorted.len() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ValueRange;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn sample_column(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect()
+    }
+
+    #[test]
+    fn bin_counts_sum_to_rows() {
+        let data = sample_column(10_000, 1);
+        let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 64 }).unwrap();
+        assert_eq!(idx.num_bins(), 64);
+        assert_eq!(idx.bin_counts().iter().sum::<u64>(), 10_000);
+        assert!(idx.unbinned_rows().is_empty());
+    }
+
+    #[test]
+    fn nan_rows_are_unbinned() {
+        let mut data = sample_column(100, 2);
+        data[10] = f64::NAN;
+        data[20] = f64::NAN;
+        let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 8 }).unwrap();
+        assert_eq!(idx.unbinned_rows(), &[10, 20]);
+        assert_eq!(idx.bin_counts().iter().sum::<u64>(), 98);
+    }
+
+    #[test]
+    fn range_query_matches_scan() {
+        let data = sample_column(20_000, 3);
+        let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 100 }).unwrap();
+        for range in [
+            ValueRange::gt(12.3),
+            ValueRange::lt(-55.5),
+            ValueRange::ge(0.0),
+            ValueRange::le(99.99),
+            ValueRange::between(-10.0, 10.0),
+        ] {
+            let from_index = idx.evaluate(&range, &data).unwrap();
+            let from_scan: Vec<usize> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| range.contains(v))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(from_index.to_rows(), from_scan, "range {range:?}");
+        }
+    }
+
+    #[test]
+    fn index_only_evaluation_brackets_exact_answer() {
+        let data = sample_column(5_000, 4);
+        let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 32 }).unwrap();
+        let range = ValueRange::gt(7.77);
+        let (hits, candidates) = idx.evaluate_index_only(&range).unwrap();
+        let exact = idx.evaluate(&range, &data).unwrap();
+        // hits ⊆ exact ⊆ hits ∪ candidates
+        assert!(hits.and_not(&exact).unwrap().is_none_selected());
+        let upper = hits.or(&candidates).unwrap();
+        assert!(exact.and_not(&upper).unwrap().is_none_selected());
+        assert!(!idx.answers_exactly(&range));
+    }
+
+    #[test]
+    fn boundary_aligned_query_is_answered_exactly_from_index() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 10.0).collect();
+        let edges = BinEdges::uniform(0.0, 100.0, 10).unwrap();
+        let idx = BitmapIndex::build_with_edges(&data, edges).unwrap();
+        let range = ValueRange::ge(30.0);
+        assert!(idx.answers_exactly(&range));
+        let (hits, candidates) = idx.evaluate_index_only(&range).unwrap();
+        assert!(candidates.is_none_selected());
+        assert_eq!(hits.count(), 700);
+    }
+
+    #[test]
+    fn equal_weight_index_also_answers_correctly() {
+        let data = sample_column(8_000, 5);
+        let idx = BitmapIndex::build(&data, &Binning::EqualWeight { bins: 50 }).unwrap();
+        let range = ValueRange::between(-20.0, 35.0);
+        let got = idx.evaluate(&range, &data).unwrap();
+        let expected = data.iter().filter(|&&v| range.contains(v)).count() as u64;
+        assert_eq!(got.count(), expected);
+    }
+
+    #[test]
+    fn index_size_is_reported() {
+        let data = sample_column(10_000, 6);
+        let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 128 }).unwrap();
+        assert!(idx.size_in_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_range_selects_nothing() {
+        let data = sample_column(1_000, 7);
+        let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 16 }).unwrap();
+        let got = idx.evaluate(&ValueRange::gt(1e9), &data).unwrap();
+        assert!(got.is_none_selected());
+    }
+
+    #[test]
+    fn id_index_finds_rows_proportional_to_query() {
+        let ids: Vec<u64> = (0..50_000u64).map(|i| i * 7 + 13).collect();
+        let idx = IdIndex::build(&ids);
+        let query: Vec<u64> = vec![13, 21, 7 * 100 + 13, 7 * 49_999 + 13];
+        let sel = idx.select(&query);
+        // id 21 does not exist; the others map to rows 0, 100, 49_999.
+        assert_eq!(sel.to_rows(), vec![0, 100, 49_999]);
+    }
+
+    #[test]
+    fn id_index_handles_duplicates_and_empty_query() {
+        let ids = vec![5u64, 9, 5, 7, 9];
+        let idx = IdIndex::build(&ids);
+        assert_eq!(idx.rows_for(5).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(idx.rows_for(9).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(idx.rows_for(6).count(), 0);
+        assert!(idx.select(&[]).is_none_selected());
+        assert_eq!(idx.select(&[5, 5, 9]).to_rows(), vec![0, 1, 2, 4]);
+    }
+}

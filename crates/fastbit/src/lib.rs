@@ -1,0 +1,47 @@
+//! A FastBit-style compressed bitmap index library.
+//!
+//! This crate reimplements, in safe Rust, the index/query machinery the paper
+//! relies on for query-driven visualization:
+//!
+//! * [`bitvec::BitVec`] — plain uncompressed bit vectors.
+//! * [`wah::Wah`] — Word-Aligned Hybrid (WAH) run-length compressed bit
+//!   vectors with run-aware `AND`/`OR`/`NOT`, population count and set-bit
+//!   iteration. WAH is the compression FastBit uses ("the fastest known
+//!   bitmap compression technique").
+//! * [`index::BitmapIndex`] — a binned bitmap index over one floating-point
+//!   column: one compressed bitmap per bin, low-precision bin boundaries,
+//!   candidate checks against the raw column for partially covered boundary
+//!   bins.
+//! * [`index::IdIndex`] — an index over the particle-identifier column that
+//!   answers `ID IN (…)` queries in time proportional to the number of rows
+//!   found, the operation behind particle tracking.
+//! * [`query`] — compound Boolean range-query expressions
+//!   (`px > 1e9 && py < 1e8 && y > 0`), evaluated either through the indexes
+//!   or by sequential scan, plus a small parser for paper-style query
+//!   strings.
+//! * [`hist`] — unconditional and conditional 1D/2D histogram computation,
+//!   both index-accelerated and scan-based.
+//! * [`scan`] — the "Custom" sequential-scan baseline used throughout the
+//!   paper's evaluation (Figures 11–17).
+
+#![deny(missing_docs)]
+
+pub mod bitvec;
+pub mod error;
+pub mod hist;
+pub mod index;
+pub mod query;
+pub mod scan;
+pub mod selection;
+pub mod wah;
+
+pub use bitvec::BitVec;
+pub use error::{FastBitError, Result};
+pub use hist::{BinSpec, HistEngine, HistogramEngine};
+pub use index::{BitmapIndex, IdIndex};
+pub use query::{
+    evaluate as evaluate_query, evaluate_with_strategy, parse_query, ColumnProvider, ExecStrategy,
+    Predicate, QueryExpr, ValueRange,
+};
+pub use selection::Selection;
+pub use wah::Wah;

@@ -1,0 +1,169 @@
+//! The "Custom" sequential-scan baseline.
+//!
+//! The paper benchmarks FastBit against a standalone application that has no
+//! index and therefore scans every data record: for histograms it examines
+//! every row; for particle-identifier queries it walks the dataset once and
+//! performs an `O(log S)` binary search of the sorted search set per record
+//! (overall `O(N log S)`). These functions reproduce that baseline so the
+//! benchmark harness can regenerate Figures 11–17.
+
+use histogram::{BinEdges, Hist1D, Hist2D};
+
+use crate::error::Result;
+use crate::query::{ColumnProvider, QueryExpr};
+use crate::selection::Selection;
+use crate::wah::WahBuilder;
+
+/// Evaluate a compound range query by scanning every row.
+pub fn scan_query(expr: &QueryExpr, provider: &impl ColumnProvider) -> Result<Selection> {
+    let rows = provider.num_rows();
+    let mut builder = WahBuilder::new();
+    for row in 0..rows {
+        builder.push_bit(expr.matches_row(provider, row)?);
+    }
+    Ok(Selection::from_wah(builder.finish()))
+}
+
+/// Unconditional 1D histogram by sequential scan.
+pub fn scan_hist1d(data: &[f64], edges: BinEdges) -> Hist1D {
+    Hist1D::from_data(edges, data)
+}
+
+/// Unconditional 2D histogram by sequential scan.
+pub fn scan_hist2d(xs: &[f64], ys: &[f64], x_edges: BinEdges, y_edges: BinEdges) -> Hist2D {
+    Hist2D::from_data(x_edges, y_edges, xs, ys)
+}
+
+/// Conditional 2D histogram by a single fused scan: every row is tested
+/// against the condition and, when it matches, binned immediately. Unlike the
+/// index path there is no intermediate hit list, which is why this wins when
+/// the selection covers most of the dataset.
+pub fn scan_conditional_hist2d(
+    xs: &[f64],
+    ys: &[f64],
+    x_edges: BinEdges,
+    y_edges: BinEdges,
+    provider: &impl ColumnProvider,
+    condition: &QueryExpr,
+) -> Result<Hist2D> {
+    let mut h = Hist2D::new(x_edges, y_edges);
+    for row in 0..provider.num_rows() {
+        if condition.matches_row(provider, row)? {
+            h.push(xs[row], ys[row]);
+        }
+    }
+    Ok(h)
+}
+
+/// Locate the rows whose identifier appears in `search_set` by scanning the
+/// whole identifier column; the search set is sorted once and each record
+/// does an `O(log S)` membership test.
+pub fn scan_id_search(ids: &[u64], search_set: &[u64]) -> Selection {
+    let mut sorted: Vec<u64> = search_set.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut builder = WahBuilder::new();
+    for &id in ids {
+        builder.push_bit(sorted.binary_search(&id).is_ok());
+    }
+    Selection::from_wah(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{BitmapIndex, IdIndex};
+    use crate::query::{QueryExpr, ValueRange};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    struct MemProvider {
+        columns: HashMap<String, Vec<f64>>,
+        rows: usize,
+    }
+
+    impl ColumnProvider for MemProvider {
+        fn num_rows(&self) -> usize {
+            self.rows
+        }
+        fn column(&self, name: &str) -> Option<&[f64]> {
+            self.columns.get(name).map(|v| v.as_slice())
+        }
+        fn index(&self, _name: &str) -> Option<&BitmapIndex> {
+            None
+        }
+    }
+
+    fn provider(n: usize) -> MemProvider {
+        let mut rng = StdRng::seed_from_u64(7);
+        let px: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e11)).collect();
+        let x: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut columns = HashMap::new();
+        columns.insert("px".to_string(), px);
+        columns.insert("x".to_string(), x);
+        MemProvider { columns, rows: n }
+    }
+
+    #[test]
+    fn scan_query_matches_index_query() {
+        let p = provider(5000);
+        let expr = QueryExpr::pred("px", ValueRange::gt(5e10))
+            .and(QueryExpr::pred("x", ValueRange::lt(0.5)));
+        let scanned = scan_query(&expr, &p).unwrap();
+        // Independent reference evaluation.
+        let expected: Vec<usize> = (0..p.rows)
+            .filter(|&r| p.columns["px"][r] > 5e10 && p.columns["x"][r] < 0.5)
+            .collect();
+        assert_eq!(scanned.to_rows(), expected);
+    }
+
+    #[test]
+    fn conditional_scan_hist_matches_two_phase() {
+        let p = provider(4000);
+        let expr = QueryExpr::pred("px", ValueRange::gt(8e10));
+        let xe = BinEdges::uniform(0.0, 1.0, 32).unwrap();
+        let ye = BinEdges::uniform(0.0, 1e11, 32).unwrap();
+        let fused = scan_conditional_hist2d(
+            &p.columns["x"],
+            &p.columns["px"],
+            xe.clone(),
+            ye.clone(),
+            &p,
+            &expr,
+        )
+        .unwrap();
+        let selection = scan_query(&expr, &p).unwrap();
+        let two_phase = Hist2D::from_data_masked(xe, ye, &p.columns["x"], &p.columns["px"], selection.iter_rows());
+        assert_eq!(fused.counts(), two_phase.counts());
+    }
+
+    #[test]
+    fn scan_id_search_matches_id_index() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let ids: Vec<u64> = (0..20_000u64).map(|i| i * 3 + 1).collect();
+        let search: Vec<u64> = (0..500).map(|_| rng.gen_range(0..60_000)).collect();
+        let scanned = scan_id_search(&ids, &search);
+        let indexed = IdIndex::build(&ids).select(&search);
+        assert_eq!(scanned.to_rows(), indexed.to_rows());
+    }
+
+    #[test]
+    fn scan_id_search_empty_set_selects_nothing() {
+        let ids: Vec<u64> = (0..100).collect();
+        assert!(scan_id_search(&ids, &[]).is_none_selected());
+    }
+
+    #[test]
+    fn scan_hist_wrappers_count_everything() {
+        let p = provider(1000);
+        let e = BinEdges::uniform(0.0, 1.0, 16).unwrap();
+        assert_eq!(scan_hist1d(&p.columns["x"], e.clone()).total(), 1000);
+        let h = scan_hist2d(
+            &p.columns["x"],
+            &p.columns["px"],
+            e,
+            BinEdges::uniform(0.0, 1e11, 16).unwrap(),
+        );
+        assert_eq!(h.total(), 1000);
+    }
+}

@@ -1,0 +1,642 @@
+//! Word-Aligned Hybrid (WAH) compressed bit vectors.
+//!
+//! WAH is the compression scheme used by FastBit. Bits are grouped into
+//! 31-bit groups stored in 32-bit words:
+//!
+//! * a **literal word** has its most significant bit clear and carries one
+//!   31-bit group verbatim;
+//! * a **fill word** has its most significant bit set; bit 30 carries the
+//!   fill value and the low 30 bits the number of consecutive identical
+//!   31-bit groups it represents.
+//!
+//! Logical operations walk the two operands run-by-run, so a long fill is
+//! processed in constant time rather than group-by-group. This is what makes
+//! compound Boolean range queries over binned bitmap indexes cheap.
+
+use crate::error::{FastBitError, Result};
+use crate::BitVec;
+
+/// Number of payload bits per WAH group.
+pub const GROUP_BITS: u64 = 31;
+const LITERAL_MASK: u32 = 0x7FFF_FFFF;
+const FILL_FLAG: u32 = 0x8000_0000;
+const FILL_ONE_FLAG: u32 = 0x4000_0000;
+const FILL_COUNT_MASK: u32 = 0x3FFF_FFFF;
+
+/// A WAH-compressed bit vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wah {
+    words: Vec<u32>,
+    nbits: u64,
+}
+
+/// Incremental builder for [`Wah`] vectors.
+#[derive(Debug, Default)]
+pub struct WahBuilder {
+    words: Vec<u32>,
+    current: u32,
+    filled: u64,
+    nbits: u64,
+}
+
+impl WahBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        if bit {
+            self.current |= 1 << self.filled;
+        }
+        self.filled += 1;
+        self.nbits += 1;
+        if self.filled == GROUP_BITS {
+            let g = self.current;
+            self.current = 0;
+            self.filled = 0;
+            self.append_group(g);
+        }
+    }
+
+    /// Append `count` copies of `bit`. Runs that span whole groups are
+    /// appended as fill words without touching individual bits.
+    pub fn push_run(&mut self, bit: bool, mut count: u64) {
+        // Finish the partial group bit-by-bit first.
+        while self.filled != 0 && count > 0 {
+            self.push_bit(bit);
+            count -= 1;
+        }
+        let full_groups = count / GROUP_BITS;
+        if full_groups > 0 {
+            self.append_fill(bit, full_groups);
+            self.nbits += full_groups * GROUP_BITS;
+            count -= full_groups * GROUP_BITS;
+        }
+        for _ in 0..count {
+            self.push_bit(bit);
+        }
+    }
+
+    fn append_fill(&mut self, bit: bool, mut groups: u64) {
+        while groups > 0 {
+            let chunk = groups.min(FILL_COUNT_MASK as u64) as u32;
+            let value_flag = if bit { FILL_ONE_FLAG } else { 0 };
+            // Coalesce with an existing trailing fill of the same value.
+            if let Some(last) = self.words.last_mut() {
+                if *last & FILL_FLAG != 0 && (*last & FILL_ONE_FLAG) == value_flag {
+                    let existing = *last & FILL_COUNT_MASK;
+                    let room = FILL_COUNT_MASK - existing;
+                    let add = chunk.min(room);
+                    *last += add;
+                    groups -= add as u64;
+                    if add == chunk {
+                        continue;
+                    } else {
+                        let rest = chunk - add;
+                        self.words.push(FILL_FLAG | value_flag | rest);
+                        groups -= rest as u64;
+                        continue;
+                    }
+                }
+            }
+            self.words.push(FILL_FLAG | value_flag | chunk);
+            groups -= chunk as u64;
+        }
+    }
+
+    fn append_group(&mut self, group: u32) {
+        if group == 0 {
+            self.append_fill(false, 1);
+        } else if group == LITERAL_MASK {
+            self.append_fill(true, 1);
+        } else {
+            self.words.push(group);
+        }
+    }
+
+    /// Finish building. A trailing partial group is stored as a literal with
+    /// zero padding bits; the logical length excludes the padding.
+    pub fn finish(mut self) -> Wah {
+        if self.filled > 0 {
+            // The partial group is stored literally even when all-zero so the
+            // logical length bookkeeping stays simple; it still compresses
+            // fine because it is a single word.
+            self.words.push(self.current & LITERAL_MASK);
+        }
+        Wah {
+            words: self.words,
+            nbits: self.nbits,
+        }
+    }
+}
+
+/// One decoded run: `groups` consecutive 31-bit groups all equal to `pattern`.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    pattern: u32,
+    groups: u64,
+    is_fill: bool,
+}
+
+/// Cursor over the runs of a WAH vector.
+struct RunCursor<'a> {
+    words: &'a [u32],
+    pos: usize,
+    current: Option<Run>,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(words: &'a [u32]) -> Self {
+        let mut c = Self {
+            words,
+            pos: 0,
+            current: None,
+        };
+        c.advance_word();
+        c
+    }
+
+    fn advance_word(&mut self) {
+        if self.pos >= self.words.len() {
+            self.current = None;
+            return;
+        }
+        let w = self.words[self.pos];
+        self.pos += 1;
+        self.current = Some(if w & FILL_FLAG != 0 {
+            Run {
+                pattern: if w & FILL_ONE_FLAG != 0 { LITERAL_MASK } else { 0 },
+                groups: (w & FILL_COUNT_MASK) as u64,
+                is_fill: true,
+            }
+        } else {
+            Run {
+                pattern: w,
+                groups: 1,
+                is_fill: false,
+            }
+        });
+    }
+
+    /// Consume up to `n` groups from the current run, returning how many were
+    /// consumed together with the pattern.
+    fn take(&mut self, n: u64) -> Option<(u32, u64, bool)> {
+        let run = self.current?;
+        let take = run.groups.min(n);
+        let result = (run.pattern, take, run.is_fill);
+        if take == run.groups {
+            self.advance_word();
+        } else {
+            self.current = Some(Run {
+                groups: run.groups - take,
+                ..run
+            });
+        }
+        Some(result)
+    }
+
+    fn peek_groups(&self) -> Option<u64> {
+        self.current.map(|r| r.groups)
+    }
+}
+
+impl Wah {
+    /// An all-zero vector of `nbits` bits.
+    pub fn zeros(nbits: u64) -> Self {
+        let mut b = WahBuilder::new();
+        b.push_run(false, nbits);
+        b.finish()
+    }
+
+    /// An all-one vector of `nbits` bits.
+    pub fn ones(nbits: u64) -> Self {
+        let mut b = WahBuilder::new();
+        b.push_run(true, nbits);
+        b.finish()
+    }
+
+    /// Build from sorted, unique set-bit positions.
+    ///
+    /// # Panics
+    /// Panics when positions are unsorted, repeated, or `>= nbits`.
+    pub fn from_sorted_indices(nbits: u64, indices: impl IntoIterator<Item = u64>) -> Self {
+        let mut b = WahBuilder::new();
+        let mut next = 0u64;
+        for i in indices {
+            assert!(i >= next, "indices must be strictly increasing");
+            assert!(i < nbits, "index {i} out of range {nbits}");
+            b.push_run(false, i - next);
+            b.push_bit(true);
+            next = i + 1;
+        }
+        b.push_run(false, nbits - next);
+        b.finish()
+    }
+
+    /// Build from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = WahBuilder::new();
+        for &bit in bits {
+            b.push_bit(bit);
+        }
+        b.finish()
+    }
+
+    /// Compress an uncompressed [`BitVec`].
+    pub fn from_bitvec(bv: &BitVec) -> Self {
+        let mut b = WahBuilder::new();
+        let mut prev_end = 0usize;
+        for i in bv.iter_ones() {
+            b.push_run(false, (i - prev_end) as u64);
+            b.push_bit(true);
+            prev_end = i + 1;
+        }
+        b.push_run(false, (bv.len() - prev_end) as u64);
+        b.finish()
+    }
+
+    /// Expand to an uncompressed [`BitVec`].
+    pub fn to_bitvec(&self) -> BitVec {
+        let mut bv = BitVec::zeros(self.nbits as usize);
+        for i in self.iter_ones() {
+            bv.set(i as usize, true);
+        }
+        bv
+    }
+
+    /// Logical length in bits.
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.nbits
+    }
+
+    /// True when the vector holds zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Number of 32-bit words in the compressed representation.
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        let mut total = 0u64;
+        let mut cursor = RunCursor::new(&self.words);
+        while let Some((pattern, groups, is_fill)) = cursor.take(u64::MAX) {
+            if is_fill {
+                if pattern != 0 {
+                    total += groups * GROUP_BITS;
+                }
+            } else {
+                total += pattern.count_ones() as u64;
+            }
+        }
+        total
+    }
+
+    /// Iterate over set-bit positions in increasing order.
+    pub fn iter_ones(&self) -> WahOnesIter<'_> {
+        WahOnesIter {
+            cursor: RunCursor::new(&self.words),
+            bit_offset: 0,
+            pending: None,
+            nbits: self.nbits,
+        }
+    }
+
+    /// Bitwise AND with `other`.
+    pub fn and(&self, other: &Wah) -> Result<Wah> {
+        self.binary_op(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR with `other`.
+    pub fn or(&self, other: &Wah) -> Result<Wah> {
+        self.binary_op(other, |a, b| a | b)
+    }
+
+    /// Bitwise AND-NOT (`self & !other`).
+    pub fn and_not(&self, other: &Wah) -> Result<Wah> {
+        self.binary_op(other, |a, b| a & !b & LITERAL_MASK)
+    }
+
+    /// Bitwise XOR with `other`.
+    pub fn xor(&self, other: &Wah) -> Result<Wah> {
+        self.binary_op(other, |a, b| (a ^ b) & LITERAL_MASK)
+    }
+
+    /// Bitwise complement over the logical length.
+    pub fn not(&self) -> Wah {
+        let total_groups = self.nbits.div_ceil(GROUP_BITS);
+        let mut builder = WahBuilder::new();
+        let mut cursor = RunCursor::new(&self.words);
+        let mut groups_done = 0u64;
+        while let Some((pattern, groups, _)) = cursor.take(u64::MAX) {
+            let flipped = !pattern & LITERAL_MASK;
+            for _ in 0..groups {
+                groups_done += 1;
+                let g = if groups_done == total_groups {
+                    // Mask padding bits beyond the logical length.
+                    let valid = self.nbits - (total_groups - 1) * GROUP_BITS;
+                    if valid == GROUP_BITS {
+                        flipped
+                    } else {
+                        flipped & ((1u32 << valid) - 1)
+                    }
+                } else {
+                    flipped
+                };
+                builder.append_group(g);
+            }
+        }
+        builder.nbits = self.nbits;
+        let mut result = builder.finish();
+        result.nbits = self.nbits;
+        result
+    }
+
+    fn binary_op(&self, other: &Wah, op: fn(u32, u32) -> u32) -> Result<Wah> {
+        if self.nbits != other.nbits {
+            return Err(FastBitError::LengthMismatch {
+                left: self.nbits,
+                right: other.nbits,
+            });
+        }
+        let mut a = RunCursor::new(&self.words);
+        let mut b = RunCursor::new(&other.words);
+        let mut builder = WahBuilder::new();
+        loop {
+            let (ga, gb) = match (a.peek_groups(), b.peek_groups()) {
+                (Some(ga), Some(gb)) => (ga, gb),
+                (None, None) => break,
+                // Both operands cover the same number of bits, but the last
+                // partial group may be represented on one side only when the
+                // length is an exact multiple of 31 on the other; treat the
+                // missing side as zero groups exhausted simultaneously.
+                _ => break,
+            };
+            let n = ga.min(gb);
+            let (pa, _, fa) = a.take(n).expect("peeked");
+            let (pb, _, fb) = b.take(n).expect("peeked");
+            let combined = op(pa, pb) & LITERAL_MASK;
+            if fa && fb {
+                // Both sides are fills: emit the whole run at once.
+                if combined == 0 {
+                    builder.append_fill(false, n);
+                } else if combined == LITERAL_MASK {
+                    builder.append_fill(true, n);
+                } else {
+                    // Cannot happen: a fill pattern is all-zero or all-one,
+                    // and any bitwise op of such patterns is too.
+                    for _ in 0..n {
+                        builder.append_group(combined);
+                    }
+                }
+                builder.nbits += n * GROUP_BITS;
+            } else {
+                for _ in 0..n {
+                    builder.append_group(combined);
+                    builder.nbits += GROUP_BITS;
+                }
+            }
+        }
+        let mut result = builder.finish();
+        result.nbits = self.nbits;
+        Ok(result)
+    }
+
+    /// The raw compressed words, for serialization.
+    pub fn as_words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Reconstruct a vector from serialized parts. The caller must supply
+    /// words produced by [`Wah::as_words`] together with the original logical
+    /// length.
+    pub fn from_raw_parts(words: Vec<u32>, nbits: u64) -> Self {
+        Self { words, nbits }
+    }
+
+    /// Compression ratio relative to the uncompressed representation
+    /// (uncompressed bytes divided by compressed bytes).
+    pub fn compression_ratio(&self) -> f64 {
+        let uncompressed = (self.nbits as f64 / 8.0).max(1.0);
+        uncompressed / self.size_in_bytes().max(1) as f64
+    }
+}
+
+/// Iterator over the set-bit positions of a [`Wah`] vector.
+pub struct WahOnesIter<'a> {
+    cursor: RunCursor<'a>,
+    bit_offset: u64,
+    pending: Option<(u32, u64)>,
+    nbits: u64,
+}
+
+impl<'a> Iterator for WahOnesIter<'a> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if let Some((mut pattern, base)) = self.pending.take() {
+                if pattern != 0 {
+                    let tz = pattern.trailing_zeros() as u64;
+                    pattern &= pattern - 1;
+                    self.pending = Some((pattern, base));
+                    let pos = base + tz;
+                    if pos < self.nbits {
+                        return Some(pos);
+                    }
+                    // Padding bit: keep scanning (there will be none set, but
+                    // stay defensive).
+                    continue;
+                }
+            }
+            let (pattern, groups, is_fill) = self.cursor.take(1)?;
+            debug_assert!(groups == 1 || is_fill);
+            if is_fill {
+                // take(1) always returns a single group even for fills.
+                if pattern != 0 {
+                    self.pending = Some((pattern, self.bit_offset));
+                }
+            } else if pattern != 0 {
+                self.pending = Some((pattern, self.bit_offset));
+            }
+            self.bit_offset += GROUP_BITS;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Wah::zeros(1000);
+        assert_eq!(z.len(), 1000);
+        assert_eq!(z.count_ones(), 0);
+        let o = Wah::ones(1000);
+        assert_eq!(o.count_ones(), 1000);
+        assert_eq!(o.iter_ones().count(), 1000);
+        // Long uniform runs compress to a handful of words.
+        assert!(z.num_words() <= 2, "zeros should compress: {} words", z.num_words());
+        assert!(o.num_words() <= 2, "ones should compress: {} words", o.num_words());
+    }
+
+    #[test]
+    fn from_sorted_indices_roundtrip() {
+        let idx = vec![0u64, 3, 31, 32, 62, 63, 500, 999];
+        let w = Wah::from_sorted_indices(1000, idx.clone());
+        assert_eq!(w.count_ones(), idx.len() as u64);
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn bitvec_roundtrip() {
+        let bv = BitVec::from_indices(250, [0, 1, 2, 100, 248, 249]);
+        let w = Wah::from_bitvec(&bv);
+        assert_eq!(w.to_bitvec(), bv);
+        assert_eq!(w.count_ones(), bv.count_ones());
+    }
+
+    #[test]
+    fn and_or_not_small() {
+        let a = Wah::from_sorted_indices(100, vec![1, 5, 50, 99]);
+        let b = Wah::from_sorted_indices(100, vec![5, 50, 60]);
+        assert_eq!(a.and(&b).unwrap().iter_ones().collect::<Vec<_>>(), vec![5, 50]);
+        assert_eq!(
+            a.or(&b).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![1, 5, 50, 60, 99]
+        );
+        assert_eq!(a.and_not(&b).unwrap().iter_ones().collect::<Vec<_>>(), vec![1, 99]);
+        let n = a.not();
+        assert_eq!(n.count_ones(), 96);
+        assert_eq!(n.len(), 100);
+        assert!(!n.iter_ones().any(|i| i == 5));
+        assert!(n.iter_ones().all(|i| i < 100));
+    }
+
+    #[test]
+    fn not_of_all_ones_is_empty() {
+        let o = Wah::ones(310);
+        let n = o.not();
+        assert_eq!(n.count_ones(), 0);
+        assert_eq!(n.len(), 310);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        let a = Wah::zeros(10);
+        let b = Wah::zeros(11);
+        assert!(matches!(a.and(&b), Err(FastBitError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn sparse_bitmaps_compress_well() {
+        // One set bit per 10_000 rows over a million rows: the compressed
+        // form must be dramatically smaller than the 125 kB uncompressed one.
+        let n = 1_000_000u64;
+        let idx: Vec<u64> = (0..n).step_by(10_000).collect();
+        let w = Wah::from_sorted_indices(n, idx);
+        assert!(w.size_in_bytes() < 4096, "compressed size {}", w.size_in_bytes());
+        assert!(w.compression_ratio() > 30.0);
+    }
+
+    #[test]
+    fn fill_run_coalescing_survives_builder_boundaries() {
+        let mut b = WahBuilder::new();
+        b.push_run(false, 31 * 3);
+        b.push_run(false, 31 * 5);
+        b.push_run(true, 31 * 2);
+        let w = b.finish();
+        assert_eq!(w.len(), 31 * 10);
+        assert_eq!(w.count_ones(), 31 * 2);
+        assert_eq!(w.num_words(), 2, "adjacent same-value fills must coalesce");
+    }
+
+    fn reference_op(
+        a: &[bool],
+        b: &[bool],
+        op: fn(bool, bool) -> bool,
+    ) -> Vec<u64> {
+        a.iter()
+            .zip(b.iter())
+            .enumerate()
+            .filter(|(_, (&x, &y))| op(x, y))
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_matches_reference(bits in prop::collection::vec(any::<bool>(), 0..400)) {
+            let w = Wah::from_bools(&bits);
+            prop_assert_eq!(w.len(), bits.len() as u64);
+            let expected: Vec<u64> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u64).collect();
+            prop_assert_eq!(w.iter_ones().collect::<Vec<_>>(), expected.clone());
+            prop_assert_eq!(w.count_ones(), expected.len() as u64);
+        }
+
+        #[test]
+        fn prop_logical_ops_match_reference(
+            pair in prop::collection::vec((any::<bool>(), any::<bool>()), 1..500)
+        ) {
+            let a_bits: Vec<bool> = pair.iter().map(|p| p.0).collect();
+            let b_bits: Vec<bool> = pair.iter().map(|p| p.1).collect();
+            let a = Wah::from_bools(&a_bits);
+            let b = Wah::from_bools(&b_bits);
+            prop_assert_eq!(
+                a.and(&b).unwrap().iter_ones().collect::<Vec<_>>(),
+                reference_op(&a_bits, &b_bits, |x, y| x && y)
+            );
+            prop_assert_eq!(
+                a.or(&b).unwrap().iter_ones().collect::<Vec<_>>(),
+                reference_op(&a_bits, &b_bits, |x, y| x || y)
+            );
+            prop_assert_eq!(
+                a.and_not(&b).unwrap().iter_ones().collect::<Vec<_>>(),
+                reference_op(&a_bits, &b_bits, |x, y| x && !y)
+            );
+            prop_assert_eq!(
+                a.xor(&b).unwrap().iter_ones().collect::<Vec<_>>(),
+                reference_op(&a_bits, &b_bits, |x, y| x ^ y)
+            );
+        }
+
+        #[test]
+        fn prop_not_is_involution(bits in prop::collection::vec(any::<bool>(), 1..400)) {
+            let w = Wah::from_bools(&bits);
+            let back = w.not().not();
+            prop_assert_eq!(back.iter_ones().collect::<Vec<_>>(), w.iter_ones().collect::<Vec<_>>());
+            prop_assert_eq!(w.count_ones() + w.not().count_ones(), bits.len() as u64);
+        }
+
+        #[test]
+        fn prop_runs_compress(
+            runs in prop::collection::vec((any::<bool>(), 1u64..2000), 1..20)
+        ) {
+            let mut builder = WahBuilder::new();
+            let mut reference = Vec::new();
+            for (bit, count) in &runs {
+                builder.push_run(*bit, *count);
+                reference.extend(std::iter::repeat(*bit).take(*count as usize));
+            }
+            let w = builder.finish();
+            prop_assert_eq!(w.len(), reference.len() as u64);
+            let expected: Vec<u64> = reference.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u64).collect();
+            prop_assert_eq!(w.iter_ones().collect::<Vec<_>>(), expected);
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Bin boundary ("edges") construction.
+//!
+//! A [`BinEdges`] value describes a monotonically increasing sequence of
+//! boundaries `b_0 < b_1 < … < b_n` defining `n` bins. A value `v` falls in
+//! bin `i` iff `b_i <= v < b_{i+1}`, with the final bin closed on the right
+//! so that the maximum value of the data is not dropped.
+
+use std::fmt;
+
+/// Errors that can arise while constructing bin boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BinningError {
+    /// The requested number of bins was zero.
+    ZeroBins,
+    /// The value range is empty or inverted (`lo >= hi`) where a non-empty
+    /// range is required.
+    EmptyRange {
+        /// Lower bound supplied by the caller.
+        lo: f64,
+        /// Upper bound supplied by the caller.
+        hi: f64,
+    },
+    /// The data slice was empty but bounds had to be derived from it.
+    EmptyData,
+    /// Explicit boundaries were not strictly increasing.
+    NonMonotonic,
+    /// A boundary or datum was NaN.
+    NotFinite,
+    /// Histogram shapes did not match for a merge/accumulate operation.
+    ShapeMismatch {
+        /// Expected number of bins.
+        expected: usize,
+        /// Number of bins actually supplied.
+        found: usize,
+    },
+}
+
+impl fmt::Display for BinningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinningError::ZeroBins => write!(f, "number of bins must be positive"),
+            BinningError::EmptyRange { lo, hi } => {
+                write!(f, "empty or inverted value range [{lo}, {hi}]")
+            }
+            BinningError::EmptyData => write!(f, "cannot derive bounds from empty data"),
+            BinningError::NonMonotonic => write!(f, "bin boundaries must be strictly increasing"),
+            BinningError::NotFinite => write!(f, "bin boundaries and data must be finite"),
+            BinningError::ShapeMismatch { expected, found } => {
+                write!(f, "histogram shape mismatch: expected {expected} bins, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinningError {}
+
+/// Strategy used to place bin boundaries over a variable.
+///
+/// These mirror the options FastBit exposes for building binned bitmap
+/// indexes and that the paper exercises for histogram computation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binning {
+    /// `n` equal-width bins spanning the data (or supplied) range.
+    EqualWidth {
+        /// Number of bins.
+        bins: usize,
+    },
+    /// `n` equal-weight bins: each bin holds approximately the same number
+    /// of records (quantile boundaries). This is the paper's "adaptive"
+    /// binning.
+    EqualWeight {
+        /// Number of bins.
+        bins: usize,
+    },
+    /// Equal-width bins whose boundaries are rounded to `digits` significant
+    /// decimal digits, so that user queries phrased with low-precision
+    /// constants (e.g. `px > 2.5e8`, 2-digit precision) align exactly with
+    /// bin boundaries and can be answered from the index alone.
+    Precision {
+        /// Number of bins before rounding.
+        bins: usize,
+        /// Significant decimal digits retained in each boundary.
+        digits: u32,
+    },
+    /// Explicit, strictly increasing boundaries supplied by the caller.
+    Explicit {
+        /// Boundary values (length = bins + 1).
+        boundaries: Vec<f64>,
+    },
+}
+
+/// A strictly increasing sequence of bin boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinEdges {
+    boundaries: Vec<f64>,
+}
+
+impl BinEdges {
+    /// Build edges from an explicit boundary list.
+    ///
+    /// The list must contain at least two strictly increasing, finite values.
+    pub fn from_boundaries(boundaries: Vec<f64>) -> crate::Result<Self> {
+        if boundaries.len() < 2 {
+            return Err(BinningError::ZeroBins);
+        }
+        if boundaries.iter().any(|b| !b.is_finite()) {
+            return Err(BinningError::NotFinite);
+        }
+        if boundaries.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(BinningError::NonMonotonic);
+        }
+        Ok(Self { boundaries })
+    }
+
+    /// `bins` equal-width bins over `[lo, hi]`.
+    pub fn uniform(lo: f64, hi: f64, bins: usize) -> crate::Result<Self> {
+        if bins == 0 {
+            return Err(BinningError::ZeroBins);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(BinningError::NotFinite);
+        }
+        if lo >= hi {
+            return Err(BinningError::EmptyRange { lo, hi });
+        }
+        let width = (hi - lo) / bins as f64;
+        let mut boundaries = Vec::with_capacity(bins + 1);
+        for i in 0..=bins {
+            boundaries.push(lo + width * i as f64);
+        }
+        // Guard against floating point drift on the last edge.
+        boundaries[bins] = hi;
+        Ok(Self { boundaries })
+    }
+
+    /// Equal-width bins over the observed min/max of `data`.
+    pub fn uniform_from_data(data: &[f64], bins: usize) -> crate::Result<Self> {
+        let (lo, hi) = finite_min_max(data)?;
+        if lo == hi {
+            // Degenerate constant column: widen artificially so every value
+            // lands in a valid bin.
+            let eps = if lo == 0.0 { 1.0 } else { lo.abs() * 1e-6 };
+            return Self::uniform(lo - eps, hi + eps, bins);
+        }
+        Self::uniform(lo, hi, bins)
+    }
+
+    /// Equal-weight (quantile) bins over `data`: each bin receives roughly
+    /// `data.len() / bins` records. Duplicate quantiles are collapsed, so the
+    /// returned edge count may be smaller than requested for heavily tied
+    /// data.
+    pub fn equal_weight_from_data(data: &[f64], bins: usize) -> crate::Result<Self> {
+        if bins == 0 {
+            return Err(BinningError::ZeroBins);
+        }
+        let (lo, hi) = finite_min_max(data)?;
+        if lo == hi {
+            return Self::uniform_from_data(data, 1);
+        }
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len();
+        let mut boundaries = Vec::with_capacity(bins + 1);
+        boundaries.push(lo);
+        for k in 1..bins {
+            let idx = ((k as f64 / bins as f64) * n as f64).floor() as usize;
+            let q = sorted[idx.min(n - 1)];
+            if q > *boundaries.last().expect("non-empty") && q < hi {
+                boundaries.push(q);
+            }
+        }
+        boundaries.push(hi);
+        Self::from_boundaries(boundaries)
+    }
+
+    /// Build edges according to a [`Binning`] strategy over `data`.
+    pub fn from_strategy(data: &[f64], strategy: &Binning) -> crate::Result<Self> {
+        match strategy {
+            Binning::EqualWidth { bins } => Self::uniform_from_data(data, *bins),
+            Binning::EqualWeight { bins } => Self::equal_weight_from_data(data, *bins),
+            Binning::Precision { bins, digits } => {
+                let uniform = Self::uniform_from_data(data, *bins)?;
+                uniform.rounded_to_precision(*digits)
+            }
+            Binning::Explicit { boundaries } => Self::from_boundaries(boundaries.clone()),
+        }
+    }
+
+    /// Round every interior boundary to `digits` significant decimal digits,
+    /// collapsing duplicates produced by the rounding. The outermost
+    /// boundaries are widened outward so no data is lost.
+    pub fn rounded_to_precision(&self, digits: u32) -> crate::Result<Self> {
+        let n = self.boundaries.len();
+        let mut rounded = Vec::with_capacity(n);
+        rounded.push(round_sig_down(self.boundaries[0], digits));
+        for b in &self.boundaries[1..n - 1] {
+            let r = round_sig(*b, digits);
+            if r > *rounded.last().expect("non-empty") {
+                rounded.push(r);
+            }
+        }
+        let last_up = round_sig_up(self.boundaries[n - 1], digits);
+        if last_up > *rounded.last().expect("non-empty") {
+            rounded.push(last_up);
+        } else {
+            rounded.push(rounded.last().expect("non-empty") + 1.0);
+        }
+        Self::from_boundaries(rounded)
+    }
+
+    /// Number of bins (one less than the number of boundaries).
+    #[inline]
+    pub fn num_bins(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// The boundary values.
+    #[inline]
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// Lower bound of the binned range.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.boundaries[0]
+    }
+
+    /// Upper bound of the binned range.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        *self.boundaries.last().expect("at least two boundaries")
+    }
+
+    /// Half-open range `[lo, hi)` covered by bin `i` (the final bin is closed).
+    #[inline]
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        (self.boundaries[i], self.boundaries[i + 1])
+    }
+
+    /// Width of bin `i`.
+    #[inline]
+    pub fn bin_width(&self, i: usize) -> f64 {
+        self.boundaries[i + 1] - self.boundaries[i]
+    }
+
+    /// True when every bin has the same width (within floating point noise).
+    pub fn is_uniform(&self) -> bool {
+        if self.num_bins() <= 1 {
+            return true;
+        }
+        let w0 = self.bin_width(0);
+        let tol = (self.hi() - self.lo()).abs() * 1e-9;
+        (0..self.num_bins()).all(|i| (self.bin_width(i) - w0).abs() <= tol)
+    }
+
+    /// Map a value to its bin index, or `None` when it falls outside the
+    /// covered range. The last bin is closed on the right.
+    #[inline]
+    pub fn locate(&self, value: f64) -> Option<usize> {
+        if !value.is_finite() || value < self.lo() || value > self.hi() {
+            return None;
+        }
+        if value == self.hi() {
+            return Some(self.num_bins() - 1);
+        }
+        if self.is_uniform_fast() {
+            let width = (self.hi() - self.lo()) / self.num_bins() as f64;
+            let idx = ((value - self.lo()) / width) as usize;
+            // Floating point can push the index one past the end or, for
+            // non-exactly-uniform boundaries, one bin off; clamp + verify.
+            let idx = idx.min(self.num_bins() - 1);
+            if value >= self.boundaries[idx] && value < self.boundaries[idx + 1] {
+                return Some(idx);
+            }
+        }
+        // Binary search over boundaries: find the last boundary <= value.
+        let pos = match self
+            .boundaries
+            .binary_search_by(|b| b.partial_cmp(&value).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        Some(pos.min(self.num_bins() - 1))
+    }
+
+    #[inline]
+    fn is_uniform_fast(&self) -> bool {
+        // Cheap heuristic: check the first and last widths only; `locate`
+        // verifies the computed bin before trusting it.
+        let n = self.num_bins();
+        if n <= 1 {
+            return true;
+        }
+        let w0 = self.bin_width(0);
+        let wl = self.bin_width(n - 1);
+        (w0 - wl).abs() <= w0.abs() * 1e-9
+    }
+}
+
+/// Minimum and maximum over the finite entries of `data`.
+pub fn finite_min_max(data: &[f64]) -> crate::Result<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in data {
+        if v.is_finite() {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+    }
+    if lo > hi {
+        return Err(BinningError::EmptyData);
+    }
+    Ok((lo, hi))
+}
+
+fn round_sig(value: f64, digits: u32) -> f64 {
+    round_sig_with(value, digits, f64::round)
+}
+
+fn round_sig_up(value: f64, digits: u32) -> f64 {
+    round_sig_with(value, digits, f64::ceil)
+}
+
+fn round_sig_down(value: f64, digits: u32) -> f64 {
+    round_sig_with(value, digits, f64::floor)
+}
+
+fn round_sig_with(value: f64, digits: u32, op: fn(f64) -> f64) -> f64 {
+    if value == 0.0 || !value.is_finite() {
+        return value;
+    }
+    let digits = digits.max(1) as i32;
+    let magnitude = value.abs().log10().floor() as i32;
+    let factor = 10f64.powi(digits - 1 - magnitude);
+    op(value * factor) / factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_edges_cover_range() {
+        let e = BinEdges::uniform(0.0, 10.0, 5).unwrap();
+        assert_eq!(e.num_bins(), 5);
+        assert_eq!(e.lo(), 0.0);
+        assert_eq!(e.hi(), 10.0);
+        assert!(e.is_uniform());
+        assert_eq!(e.bin_width(2), 2.0);
+    }
+
+    #[test]
+    fn uniform_rejects_bad_input() {
+        assert!(matches!(BinEdges::uniform(0.0, 1.0, 0), Err(BinningError::ZeroBins)));
+        assert!(matches!(
+            BinEdges::uniform(1.0, 1.0, 4),
+            Err(BinningError::EmptyRange { .. })
+        ));
+        assert!(matches!(
+            BinEdges::uniform(f64::NAN, 1.0, 4),
+            Err(BinningError::NotFinite)
+        ));
+    }
+
+    #[test]
+    fn locate_maps_values_to_bins() {
+        let e = BinEdges::uniform(0.0, 10.0, 10).unwrap();
+        assert_eq!(e.locate(0.0), Some(0));
+        assert_eq!(e.locate(0.999), Some(0));
+        assert_eq!(e.locate(1.0), Some(1));
+        assert_eq!(e.locate(9.5), Some(9));
+        assert_eq!(e.locate(10.0), Some(9), "upper boundary included in last bin");
+        assert_eq!(e.locate(10.0001), None);
+        assert_eq!(e.locate(-0.0001), None);
+        assert_eq!(e.locate(f64::NAN), None);
+    }
+
+    #[test]
+    fn locate_nonuniform_uses_binary_search() {
+        let e = BinEdges::from_boundaries(vec![0.0, 1.0, 10.0, 100.0]).unwrap();
+        assert!(!e.is_uniform());
+        assert_eq!(e.locate(0.5), Some(0));
+        assert_eq!(e.locate(5.0), Some(1));
+        assert_eq!(e.locate(10.0), Some(2));
+        assert_eq!(e.locate(99.0), Some(2));
+        assert_eq!(e.locate(100.0), Some(2));
+    }
+
+    #[test]
+    fn equal_weight_bins_balance_counts() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).powi(2)).collect();
+        let e = BinEdges::equal_weight_from_data(&data, 4).unwrap();
+        assert_eq!(e.num_bins(), 4);
+        // Count records per bin; each should be near 250.
+        let mut counts = vec![0usize; e.num_bins()];
+        for v in &data {
+            counts[e.locate(*v).unwrap()] += 1;
+        }
+        for c in counts {
+            assert!((200..=300).contains(&c), "unbalanced equal-weight bin: {c}");
+        }
+    }
+
+    #[test]
+    fn equal_weight_handles_ties() {
+        let data = vec![1.0; 100];
+        let e = BinEdges::equal_weight_from_data(&data, 8).unwrap();
+        assert!(e.num_bins() >= 1);
+        assert!(e.locate(1.0).is_some());
+    }
+
+    #[test]
+    fn explicit_rejects_non_monotonic() {
+        assert!(matches!(
+            BinEdges::from_boundaries(vec![0.0, 1.0, 1.0]),
+            Err(BinningError::NonMonotonic)
+        ));
+        assert!(matches!(
+            BinEdges::from_boundaries(vec![0.0]),
+            Err(BinningError::ZeroBins)
+        ));
+    }
+
+    #[test]
+    fn precision_boundaries_are_low_precision() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 * 7.3e8 + 1.23e7).collect();
+        let e = BinEdges::from_strategy(&data, &Binning::Precision { bins: 16, digits: 2 }).unwrap();
+        for b in &e.boundaries()[1..e.boundaries().len() - 1] {
+            // Two significant digits: b / 10^floor(log10 b) rounded to 1 decimal.
+            let mag = b.abs().log10().floor();
+            let scaled = b / 10f64.powf(mag - 1.0);
+            assert!(
+                (scaled - scaled.round()).abs() < 1e-6,
+                "boundary {b} is not 2-digit precision"
+            );
+        }
+        // All data still covered.
+        assert!(e.lo() <= data[0] && e.hi() >= *data.last().unwrap());
+    }
+
+    #[test]
+    fn constant_data_produces_usable_bins() {
+        let data = vec![5.0; 10];
+        let e = BinEdges::uniform_from_data(&data, 4).unwrap();
+        assert!(e.locate(5.0).is_some());
+    }
+
+    #[test]
+    fn finite_min_max_skips_nan() {
+        let data = vec![f64::NAN, 2.0, -1.0, f64::INFINITY];
+        // INFINITY is not finite so it is skipped too.
+        let (lo, hi) = finite_min_max(&data).unwrap();
+        assert_eq!(lo, -1.0);
+        assert_eq!(hi, 2.0);
+        assert!(finite_min_max(&[f64::NAN]).is_err());
+    }
+}

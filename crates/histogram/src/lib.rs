@@ -1,0 +1,38 @@
+//! Histogram primitives for query-driven visual data exploration.
+//!
+//! This crate provides the histogram machinery used throughout the VDX
+//! workspace, reproducing the binning options described in Rübel et al.
+//! (SC 2008):
+//!
+//! * [`BinEdges`] — uniform (equal-width) and adaptive (equal-weight) bin
+//!   boundaries over a value range, plus explicit user-supplied boundaries
+//!   and "precision" boundaries rounded to a fixed number of significant
+//!   digits (the FastBit-style low-precision bin boundaries that let range
+//!   queries with low-precision constants be answered from the index alone).
+//! * [`Hist1D`] and [`Hist2D`] — dense count histograms with accumulation,
+//!   merging, normalization and density queries.
+//! * Bin-merging utilities used for level-of-detail drill-down
+//!   ([`Hist2D::merged`]) and the adaptive rebinning of an existing
+//!   high-resolution uniform histogram ([`adaptive::rebin_equal_weight`]),
+//!   which is exactly how the paper's FastBit back end computes adaptive
+//!   histograms ("by first computing a higher-resolution uniformly binned
+//!   histogram and then merging bins").
+//!
+//! The histogram resolution — not the size of the underlying data — drives
+//! the cost of rendering parallel-coordinates plots, which is the central
+//! performance property of the paper's approach.
+
+#![deny(missing_docs)]
+
+pub mod adaptive;
+pub mod edges;
+pub mod hist1d;
+pub mod hist2d;
+
+pub use adaptive::{rebin_equal_weight, AdaptiveHist2D};
+pub use edges::{BinEdges, BinningError, Binning};
+pub use hist1d::Hist1D;
+pub use hist2d::Hist2D;
+
+/// Result alias for histogram construction.
+pub type Result<T> = std::result::Result<T, BinningError>;

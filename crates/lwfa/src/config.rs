@@ -1,0 +1,174 @@
+//! Configuration of the synthetic LWFA simulation.
+
+/// Spatial dimensionality of the generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dims {
+    /// Two-dimensional simulation: `z` and `pz` are written but stay zero,
+    /// matching the 2D VORPAL runs of Section IV-A–E.
+    TwoD,
+    /// Three-dimensional simulation (Section IV-F).
+    ThreeD,
+}
+
+/// All knobs of the synthetic simulation.
+///
+/// Distances are in metres and momenta in the same arbitrary-but-consistent
+/// unit the paper quotes (`px` thresholds around `1e10`–`1e11`).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Dimensionality of the run.
+    pub dims: Dims,
+    /// Approximate number of particles inside the window at any time.
+    pub particles_per_step: usize,
+    /// Number of timesteps to generate.
+    pub num_timesteps: usize,
+    /// Length of the moving simulation window along `x`.
+    pub window_length: f64,
+    /// Distance the window advances per timestep.
+    pub window_speed: f64,
+    /// Plasma wake wavelength: bucket 1 is the first wavelength behind the
+    /// laser pulse, bucket 2 the second.
+    pub wake_wavelength: f64,
+    /// Timestep at which bucket-2 particles are injected.
+    pub beam2_injection_step: usize,
+    /// Timestep at which bucket-1 particles are injected (the beam the
+    /// scientists care most about).
+    pub beam1_injection_step: usize,
+    /// Fraction of the in-window population injected into each beam.
+    pub beam_fraction: f64,
+    /// Momentum gained per timestep by a trapped particle while in the
+    /// accelerating phase of the wake.
+    pub acceleration_per_step: f64,
+    /// Timestep at which beam 1 outruns the wave and starts decelerating.
+    pub beam1_dephasing_step: usize,
+    /// Momentum lost per timestep by beam 1 after dephasing.
+    pub deceleration_per_step: f64,
+    /// Standard deviation of the background (thermal) momentum.
+    pub thermal_momentum: f64,
+    /// Transverse extent of the plasma (`y`, and `z` in 3D).
+    pub transverse_extent: f64,
+    /// RNG seed; identical configurations generate identical datasets.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A dataset mirroring the paper's 2D use case (Section IV-A–E), scaled
+    /// down: 38 timesteps, two injection events (t = 14 and t = 15), beam 1
+    /// dephasing around t = 27 so that it shows lower momentum than beam 2 by
+    /// the final timestep t = 37.
+    pub fn paper_2d(particles_per_step: usize) -> Self {
+        Self {
+            dims: Dims::TwoD,
+            particles_per_step,
+            num_timesteps: 38,
+            window_length: 1.2e-4,
+            window_speed: 3.2e-5,
+            wake_wavelength: 1.6e-5,
+            beam2_injection_step: 14,
+            beam1_injection_step: 15,
+            beam_fraction: 0.01,
+            acceleration_per_step: 8.0e9,
+            beam1_dephasing_step: 27,
+            deceleration_per_step: 2.0e9,
+            thermal_momentum: 4.0e8,
+            transverse_extent: 3.0e-5,
+            seed: 0x5eed_2d,
+        }
+    }
+
+    /// A dataset mirroring the paper's 3D use case (Section IV-F): 30
+    /// timesteps, injection around t = 9, selection performed at t = 12.
+    pub fn paper_3d(particles_per_step: usize) -> Self {
+        Self {
+            dims: Dims::ThreeD,
+            particles_per_step,
+            num_timesteps: 30,
+            window_length: 1.0e-4,
+            window_speed: 4.0e-5,
+            wake_wavelength: 1.4e-5,
+            beam2_injection_step: 10,
+            beam1_injection_step: 9,
+            beam_fraction: 0.008,
+            acceleration_per_step: 7.0e9,
+            beam1_dephasing_step: 26,
+            deceleration_per_step: 3.0e9,
+            thermal_momentum: 5.0e8,
+            transverse_extent: 2.5e-5,
+            seed: 0x5eed_3d,
+        }
+    }
+
+    /// A very small configuration for unit tests.
+    pub fn tiny() -> Self {
+        let mut c = Self::paper_2d(2_000);
+        c.num_timesteps = 20;
+        c
+    }
+
+    /// The configuration used by the scalability benchmarks: many timesteps,
+    /// a configurable particle count per step.
+    pub fn scaling(particles_per_step: usize, num_timesteps: usize) -> Self {
+        let mut c = Self::paper_2d(particles_per_step);
+        c.num_timesteps = num_timesteps;
+        // Keep injecting and accelerating beyond the 2D presets so the px
+        // distribution stays interesting over long runs.
+        c.beam1_dephasing_step = num_timesteps.saturating_sub(5).max(20);
+        c
+    }
+
+    /// Lower edge of the moving window at `step`.
+    pub fn window_lo(&self, step: usize) -> f64 {
+        self.window_speed * step as f64
+    }
+
+    /// Upper (leading) edge of the moving window at `step`; the laser pulse
+    /// sits at this edge.
+    pub fn window_hi(&self, step: usize) -> f64 {
+        self.window_lo(step) + self.window_length
+    }
+
+    /// `x` range of wake bucket `bucket` (1-based) at `step`: bucket 1 is the
+    /// first wavelength behind the pulse.
+    pub fn bucket_range(&self, step: usize, bucket: usize) -> (f64, f64) {
+        let hi = self.window_hi(step) - self.wake_wavelength * (bucket as f64 - 1.0);
+        (hi - self.wake_wavelength, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_moves_forward() {
+        let c = SimConfig::paper_2d(1000);
+        assert!(c.window_lo(10) > c.window_lo(5));
+        assert_eq!(c.window_hi(0) - c.window_lo(0), c.window_length);
+        // At the paper's final 2D timestep the window front is around 1.3e-3.
+        assert!(c.window_hi(37) > 1.0e-3 && c.window_hi(37) < 2.0e-3);
+    }
+
+    #[test]
+    fn buckets_tile_the_window_front() {
+        let c = SimConfig::paper_2d(1000);
+        let (b1_lo, b1_hi) = c.bucket_range(20, 1);
+        let (b2_lo, b2_hi) = c.bucket_range(20, 2);
+        assert_eq!(b1_hi, c.window_hi(20));
+        assert!((b2_hi - b1_lo).abs() < 1e-12, "bucket 2 ends where bucket 1 begins");
+        assert!((b1_hi - b1_lo - c.wake_wavelength).abs() < 1e-12);
+        assert!(b2_lo < b1_lo);
+    }
+
+    #[test]
+    fn presets_are_reasonable() {
+        let c2 = SimConfig::paper_2d(1000);
+        assert_eq!(c2.num_timesteps, 38);
+        assert_eq!(c2.dims, Dims::TwoD);
+        let c3 = SimConfig::paper_3d(1000);
+        assert_eq!(c3.num_timesteps, 30);
+        assert_eq!(c3.dims, Dims::ThreeD);
+        let s = SimConfig::scaling(500, 100);
+        assert_eq!(s.num_timesteps, 100);
+        assert!(s.beam1_dephasing_step >= 20);
+    }
+}

@@ -1,0 +1,33 @@
+//! Synthetic laser wakefield accelerator (LWFA) particle data.
+//!
+//! The paper analyses output of the VORPAL particle-in-cell code: tens of
+//! millions of plasma electrons per timestep, a simulation window that sweeps
+//! along `x` with the laser pulse, and a small population of particles that
+//! become *trapped* in the plasma wake and are accelerated to relativistic
+//! momenta. We cannot ship VORPAL or its terabyte-scale output, so this crate
+//! generates a synthetic dataset that preserves every property the paper's
+//! analysis workflow exploits:
+//!
+//! * a moving window — plasma particles enter at the right edge and leave at
+//!   the left edge, so the set of particle IDs present changes over time;
+//! * two wake buckets behind the laser pulse with separate injection events,
+//!   producing **two beams** separable by `px` threshold and `x` position;
+//! * beam 1 (first bucket) accelerates strongly, reaches peak momentum around
+//!   a configurable dephasing time and then *decelerates* after outrunning
+//!   the wave, while beam 2 keeps accelerating — the behaviour Figures 5 and
+//!   9 of the paper hinge on;
+//! * stable particle identifiers, so `ID IN (…)` tracking reconstructs the
+//!   same trajectories the paper traces backwards in time;
+//! * the standard column set `x, y, z, px, py, pz, xrel, id`.
+//!
+//! The defaults are scaled to laptop memory; every size knob is public so the
+//! benchmark harness can sweep dataset size.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod generate;
+pub mod physics;
+
+pub use config::{Dims, SimConfig};
+pub use generate::{Simulation, SimulationSummary};

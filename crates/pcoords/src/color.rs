@@ -1,0 +1,152 @@
+//! Colours, colour maps and the gamma brightness model.
+
+/// An RGBA colour with float channels in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rgba {
+    /// Red channel.
+    pub r: f32,
+    /// Green channel.
+    pub g: f32,
+    /// Blue channel.
+    pub b: f32,
+    /// Alpha (opacity) channel.
+    pub a: f32,
+}
+
+impl Rgba {
+    /// A colour from channel values.
+    pub const fn new(r: f32, g: f32, b: f32, a: f32) -> Self {
+        Self { r, g, b, a }
+    }
+
+    /// Opaque white.
+    pub const WHITE: Rgba = Rgba::new(1.0, 1.0, 1.0, 1.0);
+    /// Opaque black.
+    pub const BLACK: Rgba = Rgba::new(0.0, 0.0, 0.0, 1.0);
+    /// The context-view grey used by the paper's figures.
+    pub const CONTEXT_GRAY: Rgba = Rgba::new(0.65, 0.65, 0.65, 1.0);
+    /// The focus-view red used in Figures 4 and 8.
+    pub const FOCUS_RED: Rgba = Rgba::new(0.9, 0.15, 0.1, 1.0);
+    /// The refined-selection green used in Figure 8.
+    pub const FOCUS_GREEN: Rgba = Rgba::new(0.1, 0.8, 0.2, 1.0);
+
+    /// Scale the colour's opacity.
+    pub fn with_alpha(self, a: f32) -> Self {
+        Self { a, ..self }
+    }
+
+    /// Multiply the colour channels by `f` (keeping alpha).
+    pub fn scaled(self, f: f32) -> Self {
+        Self {
+            r: self.r * f,
+            g: self.g * f,
+            b: self.b * f,
+            a: self.a,
+        }
+    }
+}
+
+/// The rainbow colour map used by the paper's pseudocolor plots
+/// (blue = low, red = high). `t` is clamped to `[0, 1]`.
+pub fn rainbow(t: f64) -> Rgba {
+    let t = t.clamp(0.0, 1.0) as f32;
+    // Piecewise-linear blue -> cyan -> green -> yellow -> red.
+    let (r, g, b) = if t < 0.25 {
+        (0.0, t / 0.25, 1.0)
+    } else if t < 0.5 {
+        (0.0, 1.0, 1.0 - (t - 0.25) / 0.25)
+    } else if t < 0.75 {
+        ((t - 0.5) / 0.25, 1.0, 0.0)
+    } else {
+        (1.0, 1.0 - (t - 0.75) / 0.25, 0.0)
+    };
+    Rgba::new(r, g, b, 1.0)
+}
+
+/// A qualitative colour for timestep `i` of `n` in a temporal parallel
+/// coordinates plot (Figure 9 assigns one hue per timestep).
+pub fn timestep_color(i: usize, n: usize) -> Rgba {
+    let n = n.max(1);
+    let hue = (i % n) as f64 / n as f64;
+    hsv(hue * 300.0, 0.85, 0.95)
+}
+
+fn hsv(h_deg: f64, s: f64, v: f64) -> Rgba {
+    let c = v * s;
+    let hp = (h_deg / 60.0) % 6.0;
+    let x = c * (1.0 - ((hp % 2.0) - 1.0).abs());
+    let (r, g, b) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = v - c;
+    Rgba::new((r + m) as f32, (g + m) as f32, (b + m) as f32, 1.0)
+}
+
+/// Brightness of a bin holding `value` records (or density) out of a maximum
+/// of `max`, under gamma `g`.
+///
+/// `g = 1` gives a linear ramp. Lowering `g` dims the whole plot and pushes
+/// sparse bins toward zero so they visually disappear, which is exactly how
+/// the paper describes its gamma control (Figure 2c). Values are clamped to
+/// `[0, 1]`.
+pub fn brightness(value: f64, max: f64, gamma: f64) -> f64 {
+    if max <= 0.0 || value <= 0.0 {
+        return 0.0;
+    }
+    let ratio = (value / max).clamp(0.0, 1.0);
+    let g = gamma.clamp(1e-3, 10.0);
+    ratio.powf(1.0 / g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rainbow_endpoints() {
+        let lo = rainbow(0.0);
+        let hi = rainbow(1.0);
+        assert!(lo.b > 0.9 && lo.r < 0.1, "low values are blue");
+        assert!(hi.r > 0.9 && hi.b < 0.1, "high values are red");
+        // Clamping.
+        assert_eq!(rainbow(-5.0), rainbow(0.0));
+        assert_eq!(rainbow(7.0), rainbow(1.0));
+    }
+
+    #[test]
+    fn timestep_colors_are_distinct() {
+        let a = timestep_color(0, 9);
+        let b = timestep_color(4, 9);
+        let dist = (a.r - b.r).abs() + (a.g - b.g).abs() + (a.b - b.b).abs();
+        assert!(dist > 0.2, "timestep colours must be visually distinct");
+    }
+
+    #[test]
+    fn brightness_gamma_behaviour() {
+        // Full bins are always full brightness.
+        assert_eq!(brightness(100.0, 100.0, 1.0), 1.0);
+        assert_eq!(brightness(100.0, 100.0, 0.2), 1.0);
+        // Linear at gamma 1.
+        assert!((brightness(50.0, 100.0, 1.0) - 0.5).abs() < 1e-12);
+        // Lower gamma dims sparse bins dramatically.
+        let sparse_linear = brightness(1.0, 1000.0, 1.0);
+        let sparse_dim = brightness(1.0, 1000.0, 0.3);
+        assert!(sparse_dim < sparse_linear / 10.0);
+        // Degenerate inputs.
+        assert_eq!(brightness(0.0, 100.0, 1.0), 0.0);
+        assert_eq!(brightness(10.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn color_helpers() {
+        let c = Rgba::FOCUS_RED.with_alpha(0.5);
+        assert_eq!(c.a, 0.5);
+        let s = Rgba::WHITE.scaled(0.25);
+        assert!((s.r - 0.25).abs() < 1e-6 && s.a == 1.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! A simple float RGBA framebuffer with the primitives the parallel
+//! coordinates renderer needs: axis-aligned vertical trapezoids (the
+//! quadrilaterals connecting bin ranges on two adjacent axes), lines
+//! (for the traditional polyline renderer) and rectangles (axes).
+
+use crate::color::Rgba;
+use std::io::Write;
+use std::path::Path;
+
+/// How a primitive is combined with the pixels already in the buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlendMode {
+    /// Source-over compositing using the colour's alpha.
+    Over,
+    /// Additive blending (used for dense polyline plots so overdraw saturates
+    /// rather than occludes).
+    Additive,
+}
+
+/// A width × height RGBA image with `f32` channels.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    width: usize,
+    height: usize,
+    pixels: Vec<[f32; 4]>,
+}
+
+impl Framebuffer {
+    /// A black, opaque framebuffer.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            pixels: vec![[0.0, 0.0, 0.0, 1.0]; width * height],
+        }
+    }
+
+    /// A framebuffer cleared to `background`.
+    pub fn with_background(width: usize, height: usize, background: Rgba) -> Self {
+        Self {
+            width,
+            height,
+            pixels: vec![[background.r, background.g, background.b, background.a]; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Read one pixel.
+    pub fn pixel(&self, x: usize, y: usize) -> Rgba {
+        let p = self.pixels[y * self.width + x];
+        Rgba::new(p[0], p[1], p[2], p[3])
+    }
+
+    /// Blend `color` into pixel `(x, y)`; out-of-bounds writes are ignored.
+    #[inline]
+    pub fn blend(&mut self, x: i64, y: i64, color: Rgba, mode: BlendMode) {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            return;
+        }
+        let p = &mut self.pixels[y as usize * self.width + x as usize];
+        match mode {
+            BlendMode::Over => {
+                let a = color.a.clamp(0.0, 1.0);
+                p[0] = color.r * a + p[0] * (1.0 - a);
+                p[1] = color.g * a + p[1] * (1.0 - a);
+                p[2] = color.b * a + p[2] * (1.0 - a);
+                p[3] = (a + p[3] * (1.0 - a)).clamp(0.0, 1.0);
+            }
+            BlendMode::Additive => {
+                p[0] = (p[0] + color.r * color.a).min(1.0);
+                p[1] = (p[1] + color.g * color.a).min(1.0);
+                p[2] = (p[2] + color.b * color.a).min(1.0);
+            }
+        }
+    }
+
+    /// Fill an axis-aligned rectangle spanning `[x0, x1) × [y0, y1)`.
+    pub fn fill_rect(&mut self, x0: i64, y0: i64, x1: i64, y1: i64, color: Rgba, mode: BlendMode) {
+        for y in y0.min(y1)..y0.max(y1) {
+            for x in x0.min(x1)..x0.max(x1) {
+                self.blend(x, y, color, mode);
+            }
+        }
+    }
+
+    /// Fill a vertical-sided trapezoid: the region between the vertical line
+    /// `x = x0` (covering pixel rows `y0a..y0b`) and `x = x1` (rows
+    /// `y1a..y1b`), with the top and bottom edges linearly interpolated.
+    ///
+    /// This is exactly the shape of one histogram bin drawn between two
+    /// adjacent parallel axes: the bin's value range on the left axis maps to
+    /// `y0a..y0b` and its range on the right axis to `y1a..y1b` (for adaptive
+    /// bins the two spans differ in height).
+    pub fn fill_axis_quad(
+        &mut self,
+        x0: f64,
+        y0a: f64,
+        y0b: f64,
+        x1: f64,
+        y1a: f64,
+        y1b: f64,
+        color: Rgba,
+        mode: BlendMode,
+    ) {
+        if x1 <= x0 {
+            return;
+        }
+        let start = x0.floor().max(0.0) as i64;
+        let end = x1.ceil().min(self.width as f64) as i64;
+        let span = x1 - x0;
+        for px in start..end {
+            let t = ((px as f64 + 0.5 - x0) / span).clamp(0.0, 1.0);
+            let top = y0a + (y1a - y0a) * t;
+            let bottom = y0b + (y1b - y0b) * t;
+            let (lo, hi) = if top <= bottom { (top, bottom) } else { (bottom, top) };
+            // Always cover at least one pixel row so very thin bins stay visible.
+            let mut lo_px = lo.floor() as i64;
+            let mut hi_px = hi.ceil() as i64;
+            if hi_px <= lo_px {
+                hi_px = lo_px + 1;
+            }
+            if hi_px == lo_px {
+                lo_px -= 1;
+            }
+            for py in lo_px..hi_px {
+                self.blend(px, py, color, mode);
+            }
+        }
+    }
+
+    /// Draw a line from `(x0, y0)` to `(x1, y1)` (simple DDA; the polyline
+    /// renderer draws millions of these, which is precisely the scaling
+    /// problem histogram-based rendering removes).
+    pub fn draw_line(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, color: Rgba, mode: BlendMode) {
+        let dx = x1 - x0;
+        let dy = y1 - y0;
+        let steps = dx.abs().max(dy.abs()).ceil().max(1.0) as usize;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            let x = x0 + dx * t;
+            let y = y0 + dy * t;
+            self.blend(x.round() as i64, y.round() as i64, color, mode);
+        }
+    }
+
+    /// Fraction of pixels that differ from the background colour by more than
+    /// a small tolerance — a cheap way for tests to assert that something was
+    /// actually drawn.
+    pub fn coverage(&self, background: Rgba) -> f64 {
+        let lit = self
+            .pixels
+            .iter()
+            .filter(|p| {
+                (p[0] - background.r).abs() > 0.01
+                    || (p[1] - background.g).abs() > 0.01
+                    || (p[2] - background.b).abs() > 0.01
+            })
+            .count();
+        lit as f64 / self.pixels.len() as f64
+    }
+
+    /// Mean luminance of the image (0 = black, 1 = white).
+    pub fn mean_luminance(&self) -> f64 {
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .map(|p| 0.2126 * p[0] as f64 + 0.7152 * p[1] as f64 + 0.0722 * p[2] as f64)
+            .sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Encode as a binary PPM (P6) image.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.width * self.height * 3 + 32);
+        out.extend_from_slice(format!("P6\n{} {}\n255\n", self.width, self.height).as_bytes());
+        for p in &self.pixels {
+            for c in &p[..3] {
+                out.push((c.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        out
+    }
+
+    /// Write the image to `path` as a PPM file.
+    pub fn save_ppm(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&self.to_ppm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_black() {
+        let fb = Framebuffer::new(8, 4);
+        assert_eq!(fb.width(), 8);
+        assert_eq!(fb.height(), 4);
+        assert_eq!(fb.pixel(3, 2), Rgba::new(0.0, 0.0, 0.0, 1.0));
+        assert_eq!(fb.coverage(Rgba::BLACK), 0.0);
+    }
+
+    #[test]
+    fn blending_modes() {
+        let mut fb = Framebuffer::new(2, 1);
+        fb.blend(0, 0, Rgba::new(1.0, 0.0, 0.0, 0.5), BlendMode::Over);
+        let p = fb.pixel(0, 0);
+        assert!((p.r - 0.5).abs() < 1e-6);
+        fb.blend(1, 0, Rgba::new(0.4, 0.0, 0.0, 1.0), BlendMode::Additive);
+        fb.blend(1, 0, Rgba::new(0.4, 0.0, 0.0, 1.0), BlendMode::Additive);
+        fb.blend(1, 0, Rgba::new(0.4, 0.0, 0.0, 1.0), BlendMode::Additive);
+        assert_eq!(fb.pixel(1, 0).r, 1.0, "additive blending saturates");
+        // Out of bounds is ignored, not a panic.
+        fb.blend(-1, 0, Rgba::WHITE, BlendMode::Over);
+        fb.blend(5, 9, Rgba::WHITE, BlendMode::Over);
+    }
+
+    #[test]
+    fn axis_quad_covers_expected_region() {
+        let mut fb = Framebuffer::new(100, 100);
+        fb.fill_axis_quad(10.0, 20.0, 40.0, 90.0, 60.0, 80.0, Rgba::WHITE, BlendMode::Over);
+        // Left end: rows 20..40 lit at x=10.
+        assert!(fb.pixel(10, 30).r > 0.9);
+        assert!(fb.pixel(10, 50).r < 0.1);
+        // Right end: rows 60..80 lit at x=89.
+        assert!(fb.pixel(89, 70).r > 0.9);
+        assert!(fb.pixel(89, 30).r < 0.1);
+        // Midpoint interpolates.
+        assert!(fb.pixel(50, 50).r > 0.9);
+        assert!(fb.coverage(Rgba::BLACK) > 0.05);
+    }
+
+    #[test]
+    fn thin_quads_still_render() {
+        let mut fb = Framebuffer::new(50, 50);
+        // Degenerate height (same top and bottom) must still paint a 1-pixel line.
+        fb.fill_axis_quad(5.0, 25.0, 25.0, 45.0, 10.0, 10.0, Rgba::WHITE, BlendMode::Over);
+        assert!(fb.coverage(Rgba::BLACK) > 0.0);
+        // Zero-width quads are ignored.
+        let mut fb2 = Framebuffer::new(50, 50);
+        fb2.fill_axis_quad(5.0, 0.0, 10.0, 5.0, 0.0, 10.0, Rgba::WHITE, BlendMode::Over);
+        assert_eq!(fb2.coverage(Rgba::BLACK), 0.0);
+    }
+
+    #[test]
+    fn line_endpoints_are_painted() {
+        let mut fb = Framebuffer::new(64, 64);
+        fb.draw_line(0.0, 0.0, 63.0, 63.0, Rgba::WHITE, BlendMode::Over);
+        assert!(fb.pixel(0, 0).r > 0.9);
+        assert!(fb.pixel(63, 63).r > 0.9);
+        assert!(fb.pixel(32, 32).r > 0.9);
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let fb = Framebuffer::new(10, 5);
+        let ppm = fb.to_ppm();
+        assert!(ppm.starts_with(b"P6\n10 5\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n10 5\n255\n".len() + 10 * 5 * 3);
+    }
+
+    #[test]
+    fn mean_luminance_tracks_content() {
+        let dark = Framebuffer::new(10, 10);
+        let bright = Framebuffer::with_background(10, 10, Rgba::WHITE);
+        assert!(bright.mean_luminance() > dark.mean_luminance() + 0.9);
+    }
+}

@@ -1,0 +1,28 @@
+//! Software-rendered parallel coordinates.
+//!
+//! This crate implements the paper's visual-information-display side:
+//!
+//! * [`framebuffer::Framebuffer`] — a float RGBA image with alpha-over and
+//!   additive blending and PPM/PGM export, standing in for the GPU renderer
+//!   of VisIt (rendering cost must depend on histogram resolution, not data
+//!   size, and a software rasterizer preserves that property).
+//! * [`plot::ParallelCoordsPlot`] — the parallel-coordinates plot itself.
+//!   Layers can be **histogram-based** (one quadrilateral per non-empty bin
+//!   of a 2D histogram between each pair of adjacent axes, drawn
+//!   back-to-front by record count or density, brightness controlled by a
+//!   gamma value) or **polyline-based** (the traditional rendering used as
+//!   the comparison point in Figure 2a). Context and focus views are just
+//!   two layers in different colours; temporal parallel coordinates are one
+//!   layer per timestep.
+//! * [`color`] — colour maps (rainbow for momentum colouring, per-timestep
+//!   qualitative colours) and the gamma brightness model.
+
+#![deny(missing_docs)]
+
+pub mod color;
+pub mod framebuffer;
+pub mod plot;
+
+pub use color::{brightness, rainbow, timestep_color, Rgba};
+pub use framebuffer::Framebuffer;
+pub use plot::{AxisSpec, Layer, LayerData, ParallelCoordsPlot, PlotConfig};

@@ -1,0 +1,444 @@
+//! The parallel-coordinates plot.
+//!
+//! A plot is configured with an ordered list of axes (one per variable) and
+//! rendered from one or more [`Layer`]s. The bottom layer is usually the
+//! *context* view (a histogram-based rendering of the whole dataset or of a
+//! coarse pre-selection) and subsequent layers are *focus* views (the current
+//! selection) in different colours, or one layer per timestep for temporal
+//! parallel coordinates.
+//!
+//! The rendering cost of a histogram layer is proportional to the number of
+//! non-empty bins — never to the number of data records — which is the
+//! property that makes the approach usable on extremely large data.
+
+use histogram::Hist2D;
+
+use crate::color::{brightness, timestep_color, Rgba};
+use crate::framebuffer::{BlendMode, Framebuffer};
+
+/// One axis of the plot.
+#[derive(Debug, Clone)]
+pub struct AxisSpec {
+    /// Variable name displayed on the axis.
+    pub name: String,
+    /// Lowest value mapped onto the axis.
+    pub min: f64,
+    /// Highest value mapped onto the axis.
+    pub max: f64,
+}
+
+impl AxisSpec {
+    /// Create an axis for `name` covering `[min, max]`.
+    pub fn new(name: impl Into<String>, min: f64, max: f64) -> Self {
+        Self {
+            name: name.into(),
+            min,
+            max,
+        }
+    }
+
+    /// Create an axis covering the observed range of `values` (falling back
+    /// to `[0, 1]` for empty or degenerate input).
+    pub fn from_data(name: impl Into<String>, values: &[f64]) -> Self {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo > hi {
+            lo = 0.0;
+            hi = 1.0;
+        } else if lo == hi {
+            hi = lo + 1.0;
+        }
+        Self::new(name, lo, hi)
+    }
+
+    fn normalize(&self, value: f64) -> f64 {
+        ((value - self.min) / (self.max - self.min)).clamp(0.0, 1.0)
+    }
+}
+
+/// The data rendered by one layer.
+#[derive(Debug, Clone)]
+pub enum LayerData {
+    /// Histogram-based rendering: one [`Hist2D`] per adjacent axis pair, in
+    /// axis order (so `hists.len() == axes.len() - 1`). Uniform and adaptive
+    /// histograms are both accepted; adaptive bins simply produce
+    /// quadrilaterals of unequal height, ordered by density.
+    Histograms(Vec<Hist2D>),
+    /// Traditional polyline rendering: one slice of values per axis, all of
+    /// equal length (one polyline per record). This is the baseline whose
+    /// cost grows with the record count.
+    Polylines(Vec<Vec<f64>>),
+}
+
+/// One renderable layer of the plot.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// What to draw.
+    pub data: LayerData,
+    /// Base colour of the layer.
+    pub color: Rgba,
+    /// Gamma controlling the brightness falloff of sparse bins (see
+    /// [`brightness`]); ignored for polyline layers.
+    pub gamma: f64,
+    /// Bins (or lines) dimmer than this brightness are skipped entirely,
+    /// implementing the paper's "remove sparse bins" behaviour at low gamma.
+    pub min_brightness: f64,
+}
+
+impl Layer {
+    /// A histogram-based layer with default gamma 1.
+    pub fn histograms(hists: Vec<Hist2D>, color: Rgba) -> Self {
+        Self {
+            data: LayerData::Histograms(hists),
+            color,
+            gamma: 1.0,
+            min_brightness: 0.002,
+        }
+    }
+
+    /// A polyline layer (one value vector per axis).
+    pub fn polylines(columns: Vec<Vec<f64>>, color: Rgba) -> Self {
+        Self {
+            data: LayerData::Polylines(columns),
+            color,
+            gamma: 1.0,
+            min_brightness: 0.0,
+        }
+    }
+
+    /// Set the gamma value.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Set the sparse-bin cutoff.
+    pub fn with_min_brightness(mut self, min: f64) -> Self {
+        self.min_brightness = min;
+        self
+    }
+}
+
+/// Geometry and styling of the plot.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Margin around the plot area in pixels.
+    pub margin: usize,
+    /// Background colour.
+    pub background: Rgba,
+    /// Colour of the axis lines.
+    pub axis_color: Rgba,
+    /// Whether polyline layers use additive blending (dense data saturates
+    /// instead of occluding).
+    pub additive_polylines: bool,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        Self {
+            width: 1024,
+            height: 512,
+            margin: 24,
+            background: Rgba::BLACK,
+            axis_color: Rgba::new(0.35, 0.35, 0.35, 1.0),
+            additive_polylines: true,
+        }
+    }
+}
+
+/// A parallel-coordinates plot: an ordered set of axes plus render settings.
+#[derive(Debug, Clone)]
+pub struct ParallelCoordsPlot {
+    config: PlotConfig,
+    axes: Vec<AxisSpec>,
+}
+
+impl ParallelCoordsPlot {
+    /// Create a plot over `axes` with the given configuration.
+    ///
+    /// # Panics
+    /// Panics when fewer than two axes are supplied.
+    pub fn new(config: PlotConfig, axes: Vec<AxisSpec>) -> Self {
+        assert!(axes.len() >= 2, "parallel coordinates need at least two axes");
+        Self { config, axes }
+    }
+
+    /// The configured axes.
+    pub fn axes(&self) -> &[AxisSpec] {
+        &self.axes
+    }
+
+    /// The plot configuration.
+    pub fn config(&self) -> &PlotConfig {
+        &self.config
+    }
+
+    /// Pixel x position of axis `i`.
+    fn axis_x(&self, i: usize) -> f64 {
+        let usable = (self.config.width - 2 * self.config.margin) as f64;
+        self.config.margin as f64 + usable * i as f64 / (self.axes.len() - 1) as f64
+    }
+
+    /// Map a value on axis `i` to a pixel y position (large values at the
+    /// top).
+    fn value_to_y(&self, axis: usize, value: f64) -> f64 {
+        let usable = (self.config.height - 2 * self.config.margin) as f64;
+        let t = self.axes[axis].normalize(value);
+        self.config.margin as f64 + usable * (1.0 - t)
+    }
+
+    /// Render `layers` bottom-to-top into a framebuffer.
+    pub fn render(&self, layers: &[Layer]) -> Framebuffer {
+        let mut fb = Framebuffer::with_background(
+            self.config.width,
+            self.config.height,
+            self.config.background,
+        );
+        self.draw_axes(&mut fb);
+        for layer in layers {
+            match &layer.data {
+                LayerData::Histograms(hists) => self.render_histogram_layer(&mut fb, hists, layer),
+                LayerData::Polylines(columns) => self.render_polyline_layer(&mut fb, columns, layer),
+            }
+        }
+        fb
+    }
+
+    /// Render a temporal parallel-coordinates plot: one histogram layer per
+    /// timestep, each in a distinct colour (Figure 9).
+    pub fn render_temporal(&self, per_timestep: &[(usize, Vec<Hist2D>)], gamma: f64) -> Framebuffer {
+        let n = per_timestep.len();
+        let layers: Vec<Layer> = per_timestep
+            .iter()
+            .enumerate()
+            .map(|(i, (_step, hists))| {
+                Layer::histograms(hists.clone(), timestep_color(i, n)).with_gamma(gamma)
+            })
+            .collect();
+        self.render(&layers)
+    }
+
+    fn draw_axes(&self, fb: &mut Framebuffer) {
+        let top = self.config.margin as i64;
+        let bottom = (self.config.height - self.config.margin) as i64;
+        for i in 0..self.axes.len() {
+            let x = self.axis_x(i).round() as i64;
+            fb.fill_rect(x, top, x + 1, bottom, self.config.axis_color, BlendMode::Over);
+        }
+    }
+
+    fn render_histogram_layer(&self, fb: &mut Framebuffer, hists: &[Hist2D], layer: &Layer) {
+        let pairs = self.axes.len() - 1;
+        for (pair, hist) in hists.iter().enumerate().take(pairs) {
+            let x0 = self.axis_x(pair);
+            let x1 = self.axis_x(pair + 1);
+            // Normalise brightness by the larger of count and density maxima
+            // so uniform layers use counts and adaptive layers use densities,
+            // matching the paper's ordering rule.
+            let uniform = hist.x_edges().is_uniform() && hist.y_edges().is_uniform();
+            let max_count = hist.max_count() as f64;
+            let max_density = hist.max_density();
+            for bin in hist.bins_back_to_front() {
+                let weight = if uniform {
+                    brightness(bin.count as f64, max_count, layer.gamma)
+                } else {
+                    brightness(bin.density, max_density, layer.gamma)
+                };
+                if weight < layer.min_brightness {
+                    continue;
+                }
+                let y0a = self.value_to_y(pair, bin.x_range.1);
+                let y0b = self.value_to_y(pair, bin.x_range.0);
+                let y1a = self.value_to_y(pair + 1, bin.y_range.1);
+                let y1b = self.value_to_y(pair + 1, bin.y_range.0);
+                let color = layer.color.scaled(weight as f32).with_alpha(
+                    (0.15 + 0.85 * weight as f32).clamp(0.0, 1.0) * layer.color.a,
+                );
+                fb.fill_axis_quad(x0, y0a, y0b, x1, y1a, y1b, color, BlendMode::Over);
+            }
+        }
+    }
+
+    fn render_polyline_layer(&self, fb: &mut Framebuffer, columns: &[Vec<f64>], layer: &Layer) {
+        if columns.len() < 2 {
+            return;
+        }
+        let records = columns[0].len();
+        let mode = if self.config.additive_polylines {
+            BlendMode::Additive
+        } else {
+            BlendMode::Over
+        };
+        // Fade individual lines so that density shows through overdraw.
+        let alpha = (40.0 / records.max(1) as f32).clamp(0.02, 1.0) * layer.color.a;
+        let color = layer.color.with_alpha(alpha);
+        for r in 0..records {
+            for pair in 0..columns.len().min(self.axes.len()) - 1 {
+                let x0 = self.axis_x(pair);
+                let x1 = self.axis_x(pair + 1);
+                let y0 = self.value_to_y(pair, columns[pair][r]);
+                let y1 = self.value_to_y(pair + 1, columns[pair + 1][r]);
+                fb.draw_line(x0, y0, x1, y1, color, mode);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use histogram::{AdaptiveHist2D, BinEdges};
+
+    fn axes3() -> Vec<AxisSpec> {
+        vec![
+            AxisSpec::new("x", 0.0, 10.0),
+            AxisSpec::new("px", 0.0, 100.0),
+            AxisSpec::new("y", -1.0, 1.0),
+        ]
+    }
+
+    fn sample_columns(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        // Deliberately skewed distributions so bins have very different
+        // counts (gamma and sparse-bin pruning tests rely on that).
+        let x: Vec<f64> = (0..n).map(|i| ((i % 100) as f64 / 10.0).powi(2) / 10.0).collect();
+        let px: Vec<f64> = (0..n).map(|i| (((i * 13) % 100) as f64).powi(2) / 100.0).collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| (((i % 20) as f64 - 10.0) / 10.0).powi(3))
+            .collect();
+        (x, px, y)
+    }
+
+    fn pair_hists(x: &[f64], px: &[f64], y: &[f64], bins: usize) -> Vec<Hist2D> {
+        let ex = BinEdges::uniform(0.0, 10.0, bins).unwrap();
+        let ep = BinEdges::uniform(0.0, 100.0, bins).unwrap();
+        let ey = BinEdges::uniform(-1.0, 1.0, bins).unwrap();
+        vec![
+            Hist2D::from_data(ex, ep.clone(), x, px),
+            Hist2D::from_data(ep, ey, px, y),
+        ]
+    }
+
+    #[test]
+    fn histogram_layer_renders_content() {
+        let (x, px, y) = sample_columns(5000);
+        let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
+        let layer = Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::CONTEXT_GRAY);
+        let fb = plot.render(&[layer]);
+        assert!(fb.coverage(Rgba::BLACK) > 0.05, "histogram plot must light up pixels");
+    }
+
+    #[test]
+    fn polyline_layer_renders_content() {
+        let (x, px, y) = sample_columns(300);
+        let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
+        let layer = Layer::polylines(vec![x, px, y], Rgba::WHITE);
+        let fb = plot.render(&[layer]);
+        assert!(fb.coverage(Rgba::BLACK) > 0.05);
+    }
+
+    #[test]
+    fn lower_gamma_dims_the_plot() {
+        let (x, px, y) = sample_columns(5000);
+        let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
+        let bright = plot.render(&[
+            Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE).with_gamma(1.0)
+        ]);
+        let dim = plot.render(&[
+            Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE).with_gamma(0.25)
+        ]);
+        assert!(
+            dim.mean_luminance() < bright.mean_luminance(),
+            "lower gamma must reduce overall brightness (Figure 2c)"
+        );
+    }
+
+    #[test]
+    fn min_brightness_removes_sparse_bins() {
+        let (x, px, y) = sample_columns(2000);
+        let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
+        let all = plot.render(&[Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE)]);
+        let pruned = plot.render(&[
+            Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE).with_min_brightness(0.9)
+        ]);
+        assert!(pruned.coverage(Rgba::BLACK) < all.coverage(Rgba::BLACK));
+    }
+
+    #[test]
+    fn focus_layer_draws_over_context() {
+        let (x, px, y) = sample_columns(5000);
+        let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
+        let context = Layer::histograms(pair_hists(&x, &px, &y, 32), Rgba::CONTEXT_GRAY);
+        // Focus: only records with px > 80.
+        let keep: Vec<usize> = (0..x.len()).filter(|&i| px[i] > 80.0).collect();
+        let fx: Vec<f64> = keep.iter().map(|&i| x[i]).collect();
+        let fp: Vec<f64> = keep.iter().map(|&i| px[i]).collect();
+        let fy: Vec<f64> = keep.iter().map(|&i| y[i]).collect();
+        let focus = Layer::histograms(pair_hists(&fx, &fp, &fy, 32), Rgba::FOCUS_RED);
+        let fb = plot.render(&[context, focus]);
+        // Some pixel in the upper region of the px axis should be reddish.
+        let x_axis1 = ((fb.width()) / 2) as usize;
+        let mut found_red = false;
+        for yy in 0..fb.height() / 3 {
+            let p = fb.pixel(x_axis1, yy);
+            if p.r > 0.3 && p.r > p.g * 1.5 {
+                found_red = true;
+                break;
+            }
+        }
+        assert!(found_red, "focus colour must be visible on top of the context");
+    }
+
+    #[test]
+    fn adaptive_histograms_render_without_uniform_assumptions() {
+        let (x, px, _) = sample_columns(4000);
+        let a1 = AdaptiveHist2D::build(&x, &px, 16, 8).unwrap().into_hist();
+        let a2 = AdaptiveHist2D::build(&px, &x, 16, 8).unwrap().into_hist();
+        let plot = ParallelCoordsPlot::new(
+            PlotConfig::default(),
+            vec![
+                AxisSpec::from_data("x", &x),
+                AxisSpec::from_data("px", &px),
+                AxisSpec::from_data("x2", &x),
+            ],
+        );
+        let fb = plot.render(&[Layer::histograms(vec![a1, a2], Rgba::WHITE)]);
+        assert!(fb.coverage(Rgba::BLACK) > 0.05);
+    }
+
+    #[test]
+    fn temporal_rendering_uses_distinct_colors() {
+        let (x, px, y) = sample_columns(2000);
+        let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
+        let per_step: Vec<(usize, Vec<Hist2D>)> = (0..4)
+            .map(|s| (s, pair_hists(&x, &px, &y, 24)))
+            .collect();
+        let fb = plot.render_temporal(&per_step, 0.8);
+        assert!(fb.coverage(Rgba::BLACK) > 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two axes")]
+    fn single_axis_is_rejected() {
+        ParallelCoordsPlot::new(PlotConfig::default(), vec![AxisSpec::new("x", 0.0, 1.0)]);
+    }
+
+    #[test]
+    fn axis_from_data_handles_degenerate_input() {
+        let a = AxisSpec::from_data("c", &[5.0, 5.0, 5.0]);
+        assert!(a.max > a.min);
+        let b = AxisSpec::from_data("e", &[]);
+        assert_eq!((b.min, b.max), (0.0, 1.0));
+        let c = AxisSpec::from_data("n", &[f64::NAN, 1.0, 3.0]);
+        assert_eq!((c.min, c.max), (1.0, 3.0));
+    }
+}

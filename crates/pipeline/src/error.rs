@@ -1,0 +1,50 @@
+//! Pipeline error type.
+
+use std::fmt;
+
+/// Errors produced while executing pipeline stages.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Storage-layer failure (file I/O, format, unknown column/timestep).
+    Store(datastore::DataStoreError),
+    /// Index/query-layer failure.
+    Query(fastbit::FastBitError),
+    /// A worker thread panicked.
+    WorkerPanic(String),
+    /// The stage was configured inconsistently (e.g. no axis pairs).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Store(e) => write!(f, "storage error: {e}"),
+            PipelineError::Query(e) => write!(f, "query error: {e}"),
+            PipelineError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<datastore::DataStoreError> for PipelineError {
+    fn from(e: datastore::DataStoreError) -> Self {
+        PipelineError::Store(e)
+    }
+}
+
+impl From<fastbit::FastBitError> for PipelineError {
+    fn from(e: fastbit::FastBitError) -> Self {
+        PipelineError::Query(e)
+    }
+}
+
+impl From<histogram::BinningError> for PipelineError {
+    fn from(e: histogram::BinningError) -> Self {
+        PipelineError::Query(fastbit::FastBitError::Binning(e))
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PipelineError>;

@@ -1,0 +1,196 @@
+//! The parallel "node" executor.
+//!
+//! The paper's scalability experiments assign whole timestep files to compute
+//! nodes in a strided, static fashion; every node works through its files
+//! independently and the wall-clock time is the slowest node. [`NodePool`]
+//! reproduces that execution model with one thread per node (crossbeam scoped
+//! threads), per-node timing, and the same strided assignment.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{PipelineError, Result};
+
+/// Timing and work accounting for one node of a parallel run.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Node rank (0-based).
+    pub node: usize,
+    /// Work items (timestep files) processed by this node.
+    pub items: Vec<usize>,
+    /// Busy time of this node.
+    pub busy: Duration,
+}
+
+/// A pool of `nodes` workers with strided static work assignment.
+#[derive(Debug, Clone, Copy)]
+pub struct NodePool {
+    nodes: usize,
+}
+
+impl NodePool {
+    /// A pool with `nodes` workers (at least one).
+    pub fn new(nodes: usize) -> Self {
+        Self { nodes: nodes.max(1) }
+    }
+
+    /// Number of workers.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The items assigned to `node` out of `num_items` (strided assignment:
+    /// node `k` processes items `k, k + N, k + 2N, …`).
+    pub fn assignment(&self, node: usize, num_items: usize) -> Vec<usize> {
+        (node..num_items).step_by(self.nodes).collect()
+    }
+
+    /// Run `work` over the items `0..num_items`, strided across the pool.
+    ///
+    /// Returns the per-item results in item order together with per-node
+    /// reports. The work closure receives the item index; it is called from
+    /// worker threads, so it must be `Sync`. The first error encountered
+    /// aborts the run.
+    pub fn run<T, F>(&self, num_items: usize, work: F) -> Result<(Vec<T>, Vec<NodeReport>)>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        let nodes = self.nodes.min(num_items.max(1));
+        let work = &work;
+        let thread_results = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nodes);
+            for node in 0..nodes {
+                let items = self.assignment(node, num_items);
+                handles.push(scope.spawn(move |_| {
+                    let start = Instant::now();
+                    let mut out = Vec::with_capacity(items.len());
+                    for &item in &items {
+                        match work(item) {
+                            Ok(v) => out.push((item, v)),
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok((
+                        NodeReport {
+                            node,
+                            items,
+                            busy: start.elapsed(),
+                        },
+                        out,
+                    ))
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| PipelineError::WorkerPanic("node thread panicked".into()))
+                })
+                .collect::<Vec<_>>()
+        })
+        .map_err(|_| PipelineError::WorkerPanic("executor scope panicked".into()))?;
+
+        let mut reports = Vec::with_capacity(nodes);
+        let mut tagged: Vec<(usize, T)> = Vec::with_capacity(num_items);
+        for r in thread_results {
+            let (report, items) = r??;
+            reports.push(report);
+            tagged.extend(items);
+        }
+        tagged.sort_by_key(|(item, _)| *item);
+        let results = tagged.into_iter().map(|(_, v)| v).collect();
+        reports.sort_by_key(|r| r.node);
+        Ok((results, reports))
+    }
+
+    /// Run `work` and additionally report the wall-clock time of the whole
+    /// parallel section (what the paper's Figures 14 and 16 plot).
+    pub fn run_timed<T, F>(
+        &self,
+        num_items: usize,
+        work: F,
+    ) -> Result<(Vec<T>, Vec<NodeReport>, Duration)>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        let start = Instant::now();
+        let (results, reports) = self.run(num_items, work)?;
+        Ok((results, reports, start.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn strided_assignment_covers_all_items_once() {
+        let pool = NodePool::new(4);
+        let mut seen = vec![0usize; 10];
+        for node in 0..4 {
+            for item in pool.assignment(node, 10) {
+                seen[item] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        assert_eq!(pool.assignment(0, 10), vec![0, 4, 8]);
+        assert_eq!(pool.assignment(3, 10), vec![3, 7]);
+    }
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let pool = NodePool::new(3);
+        let (results, reports) = pool.run(8, |item| Ok(item * 10)).unwrap();
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(reports.len(), 3);
+        let all_items: usize = reports.iter().map(|r| r.items.len()).sum();
+        assert_eq!(all_items, 8);
+    }
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = NodePool::new(7);
+        let (results, _) = pool
+            .run(100, |item| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                Ok(item)
+            })
+            .unwrap();
+        assert_eq!(results.len(), 100);
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn errors_abort_the_run() {
+        let pool = NodePool::new(2);
+        let result = pool.run(10, |item| {
+            if item == 5 {
+                Err(PipelineError::InvalidConfig("boom".into()))
+            } else {
+                Ok(item)
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_size_is_clamped_to_at_least_one() {
+        let pool = NodePool::new(0);
+        assert_eq!(pool.nodes(), 1);
+        let (results, reports, elapsed) = pool.run_timed(3, |i| Ok(i)).unwrap();
+        assert_eq!(results, vec![0, 1, 2]);
+        assert_eq!(reports.len(), 1);
+        assert!(elapsed >= reports[0].busy || elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn more_nodes_than_items_does_not_spawn_idle_nodes() {
+        let pool = NodePool::new(16);
+        let (results, reports) = pool.run(3, |i| Ok(i)).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(reports.len() <= 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! A laptop-scale rerun of the paper's Section V-C scalability study
+//! (Figures 14–17): parallel histogram computation and parallel particle
+//! tracking over a catalog of timestep files, swept over worker ("node")
+//! counts, for both the FastBit (indexed) and Custom (scanning) engines.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scaling_study [-- <particles_per_step> <timesteps>]
+//! ```
+
+use std::time::Instant;
+
+use vdx_core::prelude::*;
+
+fn main() -> vdx_core::Result<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let particles: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let timesteps: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(24);
+
+    let out_dir = std::env::temp_dir().join("vdx-scaling-study");
+    println!("== generating scaling catalog: {timesteps} timesteps x {particles} particles ==");
+    let sim = SimConfig::scaling(particles, timesteps);
+    let gen_start = Instant::now();
+    let explorer = DataExplorer::generate(&out_dir, sim.clone(), ExplorerConfig::default())?;
+    println!(
+        "   generated + indexed in {:.1} s, {:.1} MB on disk",
+        gen_start.elapsed().as_secs_f64(),
+        explorer.catalog().total_size_bytes()? as f64 / 1e6
+    );
+
+    // The paper computes five histogram pairs of the position and momentum
+    // fields at 1024x1024 bins with a px > 7e10 condition, and tracks ~500
+    // particles selected with px > 1e11.
+    let pairs = vec![("x", "px"), ("y", "py"), ("z", "pz"), ("x", "y"), ("px", "py")];
+    let bins = 1024;
+    let cond_threshold = lwfa::physics::suggested_beam_threshold(&sim, timesteps - 1);
+    let condition = QueryExpr::pred("px", ValueRange::gt(cond_threshold));
+    let track_sel = explorer.select(timesteps - 1, &format!("px > {:e}", cond_threshold * 1.2))?;
+    println!("   tracking set: {} particles", track_sel.ids.len());
+
+    let node_counts = [1usize, 2, 4, 8];
+    println!("\n-- Figures 14/15: parallel histogram computation ({bins}x{bins} bins, 5 pairs) --");
+    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "nodes", "fb_uncond", "cu_uncond", "fb_cond", "cu_cond");
+    let mut baseline: Option<[f64; 4]> = None;
+    for &nodes in &node_counts {
+        let pool = NodePool::new(nodes);
+        let mut row = [0.0f64; 4];
+        for (i, (engine, cond)) in [
+            (HistEngine::FastBit, None),
+            (HistEngine::Custom, None),
+            (HistEngine::FastBit, Some(condition.clone())),
+            (HistEngine::Custom, Some(condition.clone())),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut stage = HistogramStage::new(pairs.clone(), bins).with_engine(engine);
+            if let Some(c) = cond {
+                stage = stage.with_condition(c);
+            }
+            let out = stage.run(explorer.catalog(), &pool)?;
+            row[i] = out.elapsed.as_secs_f64();
+        }
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            nodes, row[0], row[1], row[2], row[3]
+        );
+        if baseline.is_none() {
+            baseline = Some(row);
+        }
+    }
+    if let Some(base) = baseline {
+        println!("   speedup at {} nodes vs 1 node:", node_counts.last().unwrap());
+        println!("   (rerun the loop above to read them; ideal = number of nodes)");
+        let _ = base;
+    }
+
+    println!("\n-- Figures 16/17: parallel particle tracking ({} ids) --", track_sel.ids.len());
+    println!("{:>6} {:>12} {:>12} {:>10}", "nodes", "fastbit_s", "custom_s", "speedup_fb");
+    let mut fb_one = None;
+    for &nodes in &node_counts {
+        let pool = NodePool::new(nodes);
+        let fb = Tracker::new(HistEngine::FastBit).track(explorer.catalog(), &track_sel.ids, &pool)?;
+        let cu = Tracker::new(HistEngine::Custom).track(explorer.catalog(), &track_sel.ids, &pool)?;
+        let fb_s = fb.elapsed.as_secs_f64();
+        if fb_one.is_none() {
+            fb_one = Some(fb_s);
+        }
+        println!(
+            "{:>6} {:>12.3} {:>12.3} {:>10.2}",
+            nodes,
+            fb_s,
+            cu.elapsed.as_secs_f64(),
+            fb_one.unwrap() / fb_s
+        );
+    }
+    println!("\ndone");
+    Ok(())
+}
