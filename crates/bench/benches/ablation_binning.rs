@@ -16,7 +16,13 @@ fn bench_binning(c: &mut Criterion) {
     let strategies: Vec<(&str, Binning)> = vec![
         ("equal_width", Binning::EqualWidth { bins: 256 }),
         ("equal_weight", Binning::EqualWeight { bins: 256 }),
-        ("precision2", Binning::Precision { bins: 256, digits: 2 }),
+        (
+            "precision2",
+            Binning::Precision {
+                bins: 256,
+                digits: 2,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablation_binning");
     for (name, strategy) in &strategies {

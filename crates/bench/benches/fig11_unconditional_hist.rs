@@ -13,27 +13,60 @@ fn bench_unconditional(c: &mut Criterion) {
     let engine = HistogramEngine::new(&dataset);
     let mut group = c.benchmark_group("fig11_unconditional_hist2d");
     for bins in [64usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::new("fastbit_regular", bins), &bins, |b, &bins| {
-            b.iter(|| {
-                engine
-                    .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), None, HistEngine::FastBit)
-                    .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("fastbit_adaptive", bins), &bins, |b, &bins| {
-            b.iter(|| {
-                engine
-                    .hist2d("x", "px", &BinSpec::Adaptive(bins), &BinSpec::Adaptive(bins), None, HistEngine::FastBit)
-                    .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("custom_regular", bins), &bins, |b, &bins| {
-            b.iter(|| {
-                engine
-                    .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), None, HistEngine::Custom)
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fastbit_regular", bins),
+            &bins,
+            |b, &bins| {
+                b.iter(|| {
+                    engine
+                        .hist2d(
+                            "x",
+                            "px",
+                            &BinSpec::Uniform(bins),
+                            &BinSpec::Uniform(bins),
+                            None,
+                            HistEngine::FastBit,
+                        )
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fastbit_adaptive", bins),
+            &bins,
+            |b, &bins| {
+                b.iter(|| {
+                    engine
+                        .hist2d(
+                            "x",
+                            "px",
+                            &BinSpec::Adaptive(bins),
+                            &BinSpec::Adaptive(bins),
+                            None,
+                            HistEngine::FastBit,
+                        )
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("custom_regular", bins),
+            &bins,
+            |b, &bins| {
+                b.iter(|| {
+                    engine
+                        .hist2d(
+                            "x",
+                            "px",
+                            &BinSpec::Uniform(bins),
+                            &BinSpec::Uniform(bins),
+                            None,
+                            HistEngine::Custom,
+                        )
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -23,14 +23,28 @@ fn bench_conditional(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fastbit", hits), &cond, |b, cond| {
             b.iter(|| {
                 engine
-                    .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), Some(cond), HistEngine::FastBit)
+                    .hist2d(
+                        "x",
+                        "px",
+                        &BinSpec::Uniform(bins),
+                        &BinSpec::Uniform(bins),
+                        Some(cond),
+                        HistEngine::FastBit,
+                    )
                     .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("custom", hits), &cond, |b, cond| {
             b.iter(|| {
                 engine
-                    .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), Some(cond), HistEngine::Custom)
+                    .hist2d(
+                        "x",
+                        "px",
+                        &BinSpec::Uniform(bins),
+                        &BinSpec::Uniform(bins),
+                        Some(cond),
+                        HistEngine::Custom,
+                    )
                     .unwrap()
             })
         });

@@ -16,12 +16,16 @@ fn bench_id_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_id_query");
     for count in [10usize, 1_000, 50_000] {
         let search = id_search_set(&dataset, count);
-        group.bench_with_input(BenchmarkId::new("fastbit", search.len()), &search, |b, search| {
-            b.iter(|| id_index.select(search))
-        });
-        group.bench_with_input(BenchmarkId::new("custom", search.len()), &search, |b, search| {
-            b.iter(|| scan::scan_id_search(ids_column, search))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fastbit", search.len()),
+            &search,
+            |b, search| b.iter(|| id_index.select(search)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("custom", search.len()),
+            &search,
+            |b, search| b.iter(|| scan::scan_id_search(ids_column, search)),
+        );
     }
     group.finish();
 }

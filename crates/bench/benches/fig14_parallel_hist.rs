@@ -18,22 +18,30 @@ fn bench_parallel_hist(c: &mut Criterion) {
     group.sample_size(10);
     for nodes in [1usize, 2] {
         let pool = NodePool::new(nodes);
-        group.bench_with_input(BenchmarkId::new("fastbit_uncond", nodes), &pool, |b, pool| {
-            b.iter(|| {
-                HistogramStage::new(pairs.clone(), 256)
-                    .with_engine(HistEngine::FastBit)
-                    .run(&catalog, pool)
-                    .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("custom_uncond", nodes), &pool, |b, pool| {
-            b.iter(|| {
-                HistogramStage::new(pairs.clone(), 256)
-                    .with_engine(HistEngine::Custom)
-                    .run(&catalog, pool)
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fastbit_uncond", nodes),
+            &pool,
+            |b, pool| {
+                b.iter(|| {
+                    HistogramStage::new(pairs.clone(), 256)
+                        .with_engine(HistEngine::FastBit)
+                        .run(&catalog, pool)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("custom_uncond", nodes),
+            &pool,
+            |b, pool| {
+                b.iter(|| {
+                    HistogramStage::new(pairs.clone(), 256)
+                        .with_engine(HistEngine::Custom)
+                        .run(&catalog, pool)
+                        .unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("fastbit_cond", nodes), &pool, |b, pool| {
             b.iter(|| {
                 HistogramStage::new(pairs.clone(), 256)

@@ -27,10 +27,18 @@ fn bench_parallel_tracking(c: &mut Criterion) {
     for nodes in [1usize, 2] {
         let pool = NodePool::new(nodes);
         group.bench_with_input(BenchmarkId::new("fastbit", nodes), &pool, |b, pool| {
-            b.iter(|| Tracker::new(HistEngine::FastBit).track(&catalog, &ids, pool).unwrap())
+            b.iter(|| {
+                Tracker::new(HistEngine::FastBit)
+                    .track(&catalog, &ids, pool)
+                    .unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("custom", nodes), &pool, |b, pool| {
-            b.iter(|| Tracker::new(HistEngine::Custom).track(&catalog, &ids, pool).unwrap())
+            b.iter(|| {
+                Tracker::new(HistEngine::Custom)
+                    .track(&catalog, &ids, pool)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -29,9 +29,11 @@ fn bench_rendering(c: &mut Criterion) {
     // Polyline rendering at increasing record counts: cost scales with records.
     for records in [2_000usize, 8_000, 25_000] {
         let subset: Vec<Vec<f64>> = columns.iter().map(|c| c[..records].to_vec()).collect();
-        group.bench_with_input(BenchmarkId::new("polylines", records), &subset, |b, subset| {
-            b.iter(|| plot.render(&[Layer::polylines(subset.clone(), Rgba::WHITE)]))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("polylines", records),
+            &subset,
+            |b, subset| b.iter(|| plot.render(&[Layer::polylines(subset.clone(), Rgba::WHITE)])),
+        );
     }
 
     // Histogram rendering at increasing bin counts: cost scales with bins,
@@ -44,9 +46,13 @@ fn bench_rendering(c: &mut Criterion) {
                 Hist2D::from_data(ex, ey, &columns[i], &columns[i + 1])
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("histogram_quads", bins), &hists, |b, hists| {
-            b.iter(|| plot.render(&[Layer::histograms(hists.clone(), Rgba::CONTEXT_GRAY)]))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("histogram_quads", bins),
+            &hists,
+            |b, hists| {
+                b.iter(|| plot.render(&[Layer::histograms(hists.clone(), Rgba::CONTEXT_GRAY)]))
+            },
+        );
     }
     group.finish();
 }

@@ -14,9 +14,7 @@
 
 use std::path::PathBuf;
 
-use fastbit::{
-    scan, BinSpec, HistEngine, HistogramEngine, QueryExpr, ValueRange,
-};
+use fastbit::{scan, BinSpec, HistEngine, HistogramEngine, QueryExpr, ValueRange};
 use pipeline::{HistogramStage, NodePool, Tracker};
 use vdx_bench::{
     catalog_workload, id_search_set, serial_dataset, threshold_for_hits, time_it, write_csv,
@@ -46,7 +44,9 @@ fn parse_args() -> Args {
     let nodes = get("--nodes")
         .map(|v| v.split(',').filter_map(|s| s.parse().ok()).collect())
         .unwrap_or_else(|| vec![1, 2, 4, 8]);
-    let out = get("--out").map(PathBuf::from).unwrap_or_else(|| PathBuf::from("experiments"));
+    let out = get("--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("experiments"));
     Args {
         particles,
         timesteps,
@@ -87,23 +87,56 @@ fn fig11_unconditional_histograms(args: &Args) {
     for bins in [32usize, 64, 128, 256, 512, 1024, 2048] {
         let (_, fb_reg) = time_it(|| {
             engine
-                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), None, HistEngine::FastBit)
+                .hist2d(
+                    "x",
+                    "px",
+                    &BinSpec::Uniform(bins),
+                    &BinSpec::Uniform(bins),
+                    None,
+                    HistEngine::FastBit,
+                )
                 .unwrap()
         });
         let (_, fb_ad) = time_it(|| {
             engine
-                .hist2d("x", "px", &BinSpec::Adaptive(bins), &BinSpec::Adaptive(bins), None, HistEngine::FastBit)
+                .hist2d(
+                    "x",
+                    "px",
+                    &BinSpec::Adaptive(bins),
+                    &BinSpec::Adaptive(bins),
+                    None,
+                    HistEngine::FastBit,
+                )
                 .unwrap()
         });
         let (_, cu_reg) = time_it(|| {
             engine
-                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), None, HistEngine::Custom)
+                .hist2d(
+                    "x",
+                    "px",
+                    &BinSpec::Uniform(bins),
+                    &BinSpec::Uniform(bins),
+                    None,
+                    HistEngine::Custom,
+                )
                 .unwrap()
         });
-        println!("{:>10} {:>16.4} {:>16.4} {:>16.4}", bins * bins, fb_reg, fb_ad, cu_reg);
+        println!(
+            "{:>10} {:>16.4} {:>16.4} {:>16.4}",
+            bins * bins,
+            fb_reg,
+            fb_ad,
+            cu_reg
+        );
         rows.push(format!("{},{fb_reg},{fb_ad},{cu_reg}", bins * bins));
     }
-    write_csv(&args.out, "fig11_unconditional_hist.csv", "bins,fastbit_regular_s,fastbit_adaptive_s,custom_regular_s", &rows).unwrap();
+    write_csv(
+        &args.out,
+        "fig11_unconditional_hist.csv",
+        "bins,fastbit_regular_s,fastbit_adaptive_s,custom_regular_s",
+        &rows,
+    )
+    .unwrap();
 }
 
 /// Figure 12: serial conditional 2D histogram time vs number of hits
@@ -128,24 +161,54 @@ fn fig12_conditional_histograms(args: &Args) {
             .count();
         let (_, fb_reg) = time_it(|| {
             engine
-                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), Some(&cond), HistEngine::FastBit)
+                .hist2d(
+                    "x",
+                    "px",
+                    &BinSpec::Uniform(bins),
+                    &BinSpec::Uniform(bins),
+                    Some(&cond),
+                    HistEngine::FastBit,
+                )
                 .unwrap()
         });
         let (_, fb_ad) = time_it(|| {
             engine
-                .hist2d("x", "px", &BinSpec::Adaptive(bins), &BinSpec::Adaptive(bins), Some(&cond), HistEngine::FastBit)
+                .hist2d(
+                    "x",
+                    "px",
+                    &BinSpec::Adaptive(bins),
+                    &BinSpec::Adaptive(bins),
+                    Some(&cond),
+                    HistEngine::FastBit,
+                )
                 .unwrap()
         });
         let (_, cu_reg) = time_it(|| {
             engine
-                .hist2d("x", "px", &BinSpec::Uniform(bins), &BinSpec::Uniform(bins), Some(&cond), HistEngine::Custom)
+                .hist2d(
+                    "x",
+                    "px",
+                    &BinSpec::Uniform(bins),
+                    &BinSpec::Uniform(bins),
+                    Some(&cond),
+                    HistEngine::Custom,
+                )
                 .unwrap()
         });
-        println!("{:>12} {:>16.4} {:>16.4} {:>16.4}", hits, fb_reg, fb_ad, cu_reg);
+        println!(
+            "{:>12} {:>16.4} {:>16.4} {:>16.4}",
+            hits, fb_reg, fb_ad, cu_reg
+        );
         rows.push(format!("{hits},{fb_reg},{fb_ad},{cu_reg}"));
         target *= 10;
     }
-    write_csv(&args.out, "fig12_conditional_hist.csv", "hits,fastbit_regular_s,fastbit_adaptive_s,custom_regular_s", &rows).unwrap();
+    write_csv(
+        &args.out,
+        "fig12_conditional_hist.csv",
+        "hits,fastbit_regular_s,fastbit_adaptive_s,custom_regular_s",
+        &rows,
+    )
+    .unwrap();
 }
 
 /// Figure 13: serial identifier-query time vs number of identifiers.
@@ -153,7 +216,10 @@ fn fig13_id_queries(args: &Args) {
     println!("\n== Figure 13: identifier queries (time vs number of identifiers) ==");
     let dataset = serial_dataset(args.particles);
     let ids_column = dataset.table().id_column("id").unwrap();
-    println!("{:>12} {:>14} {:>14} {:>10}", "identifiers", "FastBit", "Custom", "ratio");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "identifiers", "FastBit", "Custom", "ratio"
+    );
     let mut rows = Vec::new();
     let mut count = 10usize;
     while count < args.particles {
@@ -171,7 +237,13 @@ fn fig13_id_queries(args: &Args) {
         rows.push(format!("{},{fb_s},{cu_s}", search.len()));
         count *= 10;
     }
-    write_csv(&args.out, "fig13_id_query.csv", "identifiers,fastbit_s,custom_s", &rows).unwrap();
+    write_csv(
+        &args.out,
+        "fig13_id_query.csv",
+        "identifiers,fastbit_s,custom_s",
+        &rows,
+    )
+    .unwrap();
 }
 
 /// Figures 14 and 15: parallel histogram computation times and speedups.
@@ -179,17 +251,32 @@ fn fig14_15_parallel_histograms(args: &Args) {
     println!("\n== Figures 14/15: parallel histogram computation ==");
     let per_step = (args.particles / 4).max(10_000);
     let (catalog, _dir) = catalog_workload("fig14", per_step, args.timesteps);
-    let pairs = vec![("x", "px"), ("y", "py"), ("z", "pz"), ("x", "y"), ("px", "py")];
+    let pairs = vec![
+        ("x", "px"),
+        ("y", "py"),
+        ("z", "pz"),
+        ("x", "y"),
+        ("px", "py"),
+    ];
     let bins = 1024;
     // Condition analogous to the paper's px > 7e10 on its momentum scale.
-    let probe = catalog.load(catalog.steps()[args.timesteps - 1], Some(&["px", "id"]), true).unwrap();
+    let probe = catalog
+        .load(
+            catalog.steps()[args.timesteps - 1],
+            Some(&["px", "id"]),
+            true,
+        )
+        .unwrap();
     let mut probe_ds = probe;
     probe_ds.build_id_index().ok();
     let cond_threshold = {
         let px = probe_ds.table().float_column("px").unwrap();
         let mut sorted = px.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        sorted[sorted.len().saturating_sub(sorted.len() / 100).saturating_sub(1)]
+        sorted[sorted
+            .len()
+            .saturating_sub(sorted.len() / 100)
+            .saturating_sub(1)]
     };
     let condition = QueryExpr::pred("px", ValueRange::gt(cond_threshold));
 
@@ -223,7 +310,10 @@ fn fig14_15_parallel_histograms(args: &Args) {
             "{:>6} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
             nodes, row[0], row[1], row[2], row[3]
         );
-        rows.push(format!("{nodes},{},{},{},{}", row[0], row[1], row[2], row[3]));
+        rows.push(format!(
+            "{nodes},{},{},{},{}",
+            row[0], row[1], row[2], row[3]
+        ));
         let base = *baselines.get_or_insert(row);
         speedups.push(format!(
             "{nodes},{:.3},{:.3},{:.3},{:.3}",
@@ -233,8 +323,20 @@ fn fig14_15_parallel_histograms(args: &Args) {
             base[3] / row[3]
         ));
     }
-    write_csv(&args.out, "fig14_parallel_hist_times.csv", "nodes,fastbit_uncond_s,custom_uncond_s,fastbit_cond_s,custom_cond_s", &rows).unwrap();
-    write_csv(&args.out, "fig15_parallel_hist_speedup.csv", "nodes,fastbit_uncond,custom_uncond,fastbit_cond,custom_cond", &speedups).unwrap();
+    write_csv(
+        &args.out,
+        "fig14_parallel_hist_times.csv",
+        "nodes,fastbit_uncond_s,custom_uncond_s,fastbit_cond_s,custom_cond_s",
+        &rows,
+    )
+    .unwrap();
+    write_csv(
+        &args.out,
+        "fig15_parallel_hist_speedup.csv",
+        "nodes,fastbit_uncond,custom_uncond,fastbit_cond,custom_cond",
+        &speedups,
+    )
+    .unwrap();
     println!("   (Figure 15 = the same runs expressed as speedup vs 1 node; see CSV)");
 }
 
@@ -251,16 +353,27 @@ fn fig16_17_parallel_tracking(args: &Args) {
     let mut order: Vec<usize> = (0..px.len()).collect();
     order.sort_by(|&a, &b| px[b].partial_cmp(&px[a]).unwrap());
     let tracked: Vec<u64> = order.iter().take(500).map(|&r| ids[r]).collect();
-    println!("   tracking {} particles over {} timesteps", tracked.len(), catalog.num_timesteps());
+    println!(
+        "   tracking {} particles over {} timesteps",
+        tracked.len(),
+        catalog.num_timesteps()
+    );
 
-    println!("{:>6} {:>14} {:>14} {:>12} {:>12}", "nodes", "FastBit_s", "Custom_s", "fb_speedup", "cu_speedup");
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12}",
+        "nodes", "FastBit_s", "Custom_s", "fb_speedup", "cu_speedup"
+    );
     let mut rows = Vec::new();
     let mut speedup_rows = Vec::new();
     let mut base: Option<(f64, f64)> = None;
     for &nodes in &args.nodes {
         let pool = NodePool::new(nodes);
-        let fb = Tracker::new(HistEngine::FastBit).track(&catalog, &tracked, &pool).unwrap();
-        let cu = Tracker::new(HistEngine::Custom).track(&catalog, &tracked, &pool).unwrap();
+        let fb = Tracker::new(HistEngine::FastBit)
+            .track(&catalog, &tracked, &pool)
+            .unwrap();
+        let cu = Tracker::new(HistEngine::Custom)
+            .track(&catalog, &tracked, &pool)
+            .unwrap();
         assert_eq!(fb.total_hits(), cu.total_hits());
         let (fb_s, cu_s) = (fb.elapsed.as_secs_f64(), cu.elapsed.as_secs_f64());
         let b = *base.get_or_insert((fb_s, cu_s));
@@ -275,6 +388,18 @@ fn fig16_17_parallel_tracking(args: &Args) {
         rows.push(format!("{nodes},{fb_s},{cu_s}"));
         speedup_rows.push(format!("{nodes},{:.3},{:.3}", b.0 / fb_s, b.1 / cu_s));
     }
-    write_csv(&args.out, "fig16_parallel_tracking_times.csv", "nodes,fastbit_s,custom_s", &rows).unwrap();
-    write_csv(&args.out, "fig17_parallel_tracking_speedup.csv", "nodes,fastbit,custom", &speedup_rows).unwrap();
+    write_csv(
+        &args.out,
+        "fig16_parallel_tracking_times.csv",
+        "nodes,fastbit_s,custom_s",
+        &rows,
+    )
+    .unwrap();
+    write_csv(
+        &args.out,
+        "fig17_parallel_tracking_speedup.csv",
+        "nodes,fastbit,custom",
+        &speedup_rows,
+    )
+    .unwrap();
 }

@@ -49,7 +49,10 @@ pub fn catalog_workload(tag: &str, particles: usize, timesteps: usize) -> (Catal
     let mut catalog = Catalog::create(&dir).expect("create catalog dir");
     let config = SimConfig::scaling(particles, timesteps);
     Simulation::new(config)
-        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: INDEX_BINS }))
+        .run_to_catalog(
+            &mut catalog,
+            Some(&Binning::EqualWidth { bins: INDEX_BINS }),
+        )
         .expect("catalog generation");
     (catalog, dir)
 }
@@ -73,7 +76,11 @@ pub fn threshold_for_hits(dataset: &Dataset, target_hits: usize) -> f64 {
 /// the ID-query experiments.
 pub fn id_search_set(dataset: &Dataset, count: usize) -> Vec<u64> {
     let ids = dataset.table().id_column("id").expect("id column present");
-    ids.iter().copied().step_by((ids.len() / count.max(1)).max(1)).take(count).collect()
+    ids.iter()
+        .copied()
+        .step_by((ids.len() / count.max(1)).max(1))
+        .take(count)
+        .collect()
 }
 
 /// Measure the wall-clock seconds of a closure.
@@ -84,7 +91,12 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// Write a simple CSV file (header plus rows) under `dir`.
-pub fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[String]) -> std::io::Result<PathBuf> {
+pub fn write_csv(
+    dir: &std::path::Path,
+    name: &str,
+    header: &str,
+    rows: &[String],
+) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
     let mut content = String::with_capacity(rows.len() * 32 + header.len() + 1);
@@ -111,7 +123,10 @@ mod tests {
         // The px column spans thermal background to accelerated beam.
         let px = d.table().float_column("px").unwrap();
         let max = px.iter().copied().fold(f64::MIN, f64::max);
-        assert!(max > 1e10, "beam particles should be present (max px = {max:.3e})");
+        assert!(
+            max > 1e10,
+            "beam particles should be present (max px = {max:.3e})"
+        );
     }
 
     #[test]

@@ -111,7 +111,12 @@ impl DataExplorer {
 
     /// Refine a selection: keep only the particles that also satisfy `query`
     /// at timestep `step`.
-    pub fn refine(&self, selection: &BeamSelection, step: usize, query: &str) -> Result<BeamSelection> {
+    pub fn refine(
+        &self,
+        selection: &BeamSelection,
+        step: usize,
+        query: &str,
+    ) -> Result<BeamSelection> {
         let expr = parse_query(query)?;
         let ids = self.analyzer().refine(step, &selection.ids, &expr)?;
         Ok(BeamSelection {
@@ -169,7 +174,12 @@ impl DataExplorer {
 
     /// Build a [`ParallelCoordsPlot`] whose axes cover the value ranges of
     /// `axes` at timestep `step`.
-    pub fn plot_for(&self, step: usize, axes: &[&str], plot: PlotConfig) -> Result<ParallelCoordsPlot> {
+    pub fn plot_for(
+        &self,
+        step: usize,
+        axes: &[&str],
+        plot: PlotConfig,
+    ) -> Result<ParallelCoordsPlot> {
         let dataset = self.catalog.load(step, Some(axes), false)?;
         let specs: Vec<AxisSpec> = axes
             .iter()
@@ -221,7 +231,9 @@ impl DataExplorer {
             return Err(VdxError::Invalid("need at least two axes".into()));
         }
         let pairs: Vec<(&str, &str)> = axes.windows(2).map(|w| (w[0], w[1])).collect();
-        let temporal = self.analyzer().temporal_histograms(ids, steps, pairs, bins)?;
+        let temporal = self
+            .analyzer()
+            .temporal_histograms(ids, steps, pairs, bins)?;
         let reference_step = steps.first().copied().unwrap_or(0);
         let plot = self.plot_for(reference_step, axes, PlotConfig::default())?;
         Ok(plot.render_temporal(&temporal.per_timestep, gamma))
@@ -341,7 +353,9 @@ mod tests {
     fn invalid_requests_are_rejected() {
         let (explorer, dir) = small_explorer("invalid");
         assert!(explorer.select(17, "px >").is_err());
-        assert!(explorer.axis_histograms(17, &["x"], 16, None, false).is_err());
+        assert!(explorer
+            .axis_histograms(17, &["x"], 16, None, false)
+            .is_err());
         assert!(explorer.select(999, "px > 1").is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -187,7 +187,9 @@ impl Catalog {
                 let indexes = format::read_indexes(index_path, projection)?;
                 ds.attach_indexes(indexes);
             }
-            let want_ids = projection.map(|names| names.contains(&"id")).unwrap_or(true);
+            let want_ids = projection
+                .map(|names| names.contains(&"id"))
+                .unwrap_or(true);
             if want_ids {
                 if let Some(id_index_path) = &entry.id_index_path {
                     ds.attach_id_index(format::read_id_index(id_index_path)?);
@@ -241,8 +243,12 @@ mod tests {
         let dir = temp_catalog_dir("roundtrip");
         let mut cat = Catalog::create(&dir).unwrap();
         for step in [3usize, 1, 2] {
-            cat.write_timestep(step, &table(200, step as u64), Some(&Binning::EqualWidth { bins: 16 }))
-                .unwrap();
+            cat.write_timestep(
+                step,
+                &table(200, step as u64),
+                Some(&Binning::EqualWidth { bins: 16 }),
+            )
+            .unwrap();
         }
         assert_eq!(cat.steps(), vec![1, 2, 3]);
 

@@ -198,7 +198,12 @@ mod tests {
     fn query_str_parses_and_evaluates() {
         let d = dataset(1000);
         let sel = d.query_str("px > 9.5e10").unwrap();
-        let expected = d.column("px").unwrap().iter().filter(|&&v| v > 9.5e10).count();
+        let expected = d
+            .column("px")
+            .unwrap()
+            .iter()
+            .filter(|&&v| v > 9.5e10)
+            .count();
         assert_eq!(sel.count() as usize, expected);
         assert!(d.query_str("px >").is_err());
     }
@@ -218,7 +223,9 @@ mod tests {
     #[test]
     fn extract_builds_subset_table() {
         let d = dataset(100);
-        let sel = d.query(&QueryExpr::pred("px", ValueRange::gt(5e10))).unwrap();
+        let sel = d
+            .query(&QueryExpr::pred("px", ValueRange::gt(5e10)))
+            .unwrap();
         let sub = d.extract(&sel);
         assert_eq!(sub.num_rows() as u64, sel.count());
         assert!(sub.float_column("px").unwrap().iter().all(|&v| v > 5e10));
@@ -247,7 +254,10 @@ mod tests {
         let mut d = dataset(500);
         d.build_indexes(&Binning::EqualWidth { bins: 16 }).unwrap();
         let taken = d.take_indexes();
-        assert_eq!(taken.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(), vec!["px", "x"]);
+        assert_eq!(
+            taken.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["px", "x"]
+        );
         assert!(d.indexed_columns().is_empty());
     }
 }

@@ -37,10 +37,7 @@ impl fmt::Display for DataStoreError {
                 expected,
                 found,
                 column,
-            } => write!(
-                f,
-                "column '{column}' has {found} rows, expected {expected}"
-            ),
+            } => write!(f, "column '{column}' has {found} rows, expected {expected}"),
             DataStoreError::Query(e) => write!(f, "query error: {e}"),
             DataStoreError::UnknownTimestep(t) => write!(f, "unknown timestep {t}"),
         }

@@ -111,7 +111,9 @@ fn read_f64(r: &mut impl Read) -> Result<f64> {
 fn read_str(r: &mut impl Read) -> Result<String> {
     let len = read_u32(r)? as usize;
     if len > 1 << 20 {
-        return Err(DataStoreError::Format(format!("unreasonable string length {len}")));
+        return Err(DataStoreError::Format(format!(
+            "unreasonable string length {len}"
+        )));
     }
     let mut buf = vec![0u8; len];
     r.read_exact(&mut buf)?;
@@ -181,7 +183,9 @@ pub fn read_header(path: &Path) -> Result<TableHeader> {
     }
     let version = read_u32(&mut r)?;
     if version != FORMAT_VERSION {
-        return Err(DataStoreError::Format(format!("unsupported version {version}")));
+        return Err(DataStoreError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let num_rows = read_u64(&mut r)?;
     let num_columns = read_u32(&mut r)? as usize;
@@ -193,7 +197,11 @@ pub fn read_header(path: &Path) -> Result<TableHeader> {
         let dtype = match tag[0] {
             0 => DType::Float,
             1 => DType::Id,
-            other => return Err(DataStoreError::Format(format!("bad column type tag {other}"))),
+            other => {
+                return Err(DataStoreError::Format(format!(
+                    "bad column type tag {other}"
+                )))
+            }
         };
         let offset = read_u64(&mut r)?;
         columns.push(ColumnEntry {
@@ -296,7 +304,10 @@ pub fn write_indexes(path: &Path, indexes: &[(String, BitmapIndex)]) -> Result<(
 
 /// Read bitmap indexes from a `.vdi` file, optionally restricted to the named
 /// columns.
-pub fn read_indexes(path: &Path, projection: Option<&[&str]>) -> Result<Vec<(String, BitmapIndex)>> {
+pub fn read_indexes(
+    path: &Path,
+    projection: Option<&[&str]>,
+) -> Result<Vec<(String, BitmapIndex)>> {
     let file = File::open(path)?;
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 4];
@@ -306,7 +317,9 @@ pub fn read_indexes(path: &Path, projection: Option<&[&str]>) -> Result<Vec<(Str
     }
     let version = read_u32(&mut r)?;
     if version != FORMAT_VERSION {
-        return Err(DataStoreError::Format(format!("unsupported version {version}")));
+        return Err(DataStoreError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let count = read_u32(&mut r)? as usize;
     let mut out = Vec::new();
@@ -334,7 +347,9 @@ pub fn read_indexes(path: &Path, projection: Option<&[&str]>) -> Result<Vec<(Str
         for _ in 0..n_unbinned {
             unbinned.push(read_u32(&mut r)?);
         }
-        let keep = projection.map(|names| names.contains(&name.as_str())).unwrap_or(true);
+        let keep = projection
+            .map(|names| names.contains(&name.as_str()))
+            .unwrap_or(true);
         if keep {
             let edges = BinEdges::from_boundaries(boundaries)
                 .map_err(|e| DataStoreError::Format(format!("bad index boundaries: {e}")))?;
@@ -378,7 +393,9 @@ pub fn read_id_index(path: &Path) -> Result<fastbit::IdIndex> {
     }
     let version = read_u32(&mut r)?;
     if version != FORMAT_VERSION {
-        return Err(DataStoreError::Format(format!("unsupported version {version}")));
+        return Err(DataStoreError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     let num_rows = read_u64(&mut r)? as usize;
     let count = read_u64(&mut r)? as usize;
@@ -424,9 +441,18 @@ mod tests {
 
         let back = read_table(&path, None).unwrap();
         assert_eq!(back.num_rows(), 1234);
-        assert_eq!(back.float_column("x").unwrap(), table.float_column("x").unwrap());
-        assert_eq!(back.float_column("px").unwrap(), table.float_column("px").unwrap());
-        assert_eq!(back.id_column("id").unwrap(), table.id_column("id").unwrap());
+        assert_eq!(
+            back.float_column("x").unwrap(),
+            table.float_column("x").unwrap()
+        );
+        assert_eq!(
+            back.float_column("px").unwrap(),
+            table.float_column("px").unwrap()
+        );
+        assert_eq!(
+            back.id_column("id").unwrap(),
+            table.id_column("id").unwrap()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -440,7 +466,10 @@ mod tests {
 
         let proj = read_table(&path, Some(&["px"])).unwrap();
         assert_eq!(proj.num_columns(), 1);
-        assert_eq!(proj.float_column("px").unwrap(), table.float_column("px").unwrap());
+        assert_eq!(
+            proj.float_column("px").unwrap(),
+            table.float_column("px").unwrap()
+        );
         assert!(read_table(&path, Some(&["missing"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -493,7 +522,10 @@ mod tests {
         let path = dir.join("junk.vdc");
         std::fs::write(&path, b"NOPE0123456789").unwrap();
         assert!(matches!(read_header(&path), Err(DataStoreError::Format(_))));
-        assert!(matches!(read_indexes(&path, None), Err(DataStoreError::Format(_))));
+        assert!(matches!(
+            read_indexes(&path, None),
+            Err(DataStoreError::Format(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

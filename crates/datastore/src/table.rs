@@ -183,7 +183,9 @@ mod tests {
     #[test]
     fn duplicate_columns_rejected() {
         let mut t = table();
-        assert!(t.add_column(Column::float("x", vec![0.0, 0.0, 0.0])).is_err());
+        assert!(t
+            .add_column(Column::float("x", vec![0.0, 0.0, 0.0]))
+            .is_err());
     }
 
     #[test]

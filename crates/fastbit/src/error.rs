@@ -40,8 +40,14 @@ impl fmt::Display for FastBitError {
             FastBitError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             FastBitError::Parse(msg) => write!(f, "query parse error: {msg}"),
             FastBitError::Binning(e) => write!(f, "binning error: {e}"),
-            FastBitError::RowCountMismatch { index_rows, data_rows } => {
-                write!(f, "row count mismatch: index has {index_rows}, data has {data_rows}")
+            FastBitError::RowCountMismatch {
+                index_rows,
+                data_rows,
+            } => {
+                write!(
+                    f,
+                    "row count mismatch: index has {index_rows}, data has {data_rows}"
+                )
             }
             FastBitError::RawDataRequired(what) => {
                 write!(f, "raw column data required for {what}")

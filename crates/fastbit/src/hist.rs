@@ -131,7 +131,11 @@ impl<'a, P: ColumnProvider> HistogramEngine<'a, P> {
     }
 
     /// Evaluate the condition of a conditional histogram.
-    pub fn evaluate_condition(&self, condition: &QueryExpr, engine: HistEngine) -> Result<Selection> {
+    pub fn evaluate_condition(
+        &self,
+        condition: &QueryExpr,
+        engine: HistEngine,
+    ) -> Result<Selection> {
         let strategy = match engine {
             HistEngine::FastBit => ExecStrategy::Auto,
             HistEngine::Custom => ExecStrategy::ScanOnly,
@@ -183,7 +187,14 @@ impl<'a, P: ColumnProvider> HistogramEngine<'a, P> {
         let selection = condition
             .map(|c| self.evaluate_condition(c, engine))
             .transpose()?;
-        self.hist2d_with_selection(x_column, y_column, x_spec, y_spec, selection.as_ref(), engine)
+        self.hist2d_with_selection(
+            x_column,
+            y_column,
+            x_spec,
+            y_spec,
+            selection.as_ref(),
+            engine,
+        )
     }
 
     /// Same as [`HistogramEngine::hist2d`] but reusing an already evaluated
@@ -232,9 +243,7 @@ impl<'a, P: ColumnProvider> HistogramEngine<'a, P> {
             .transpose()?;
         pairs
             .iter()
-            .map(|(x, y)| {
-                self.hist2d_with_selection(x, y, spec, spec, selection.as_ref(), engine)
-            })
+            .map(|(x, y)| self.hist2d_with_selection(x, y, spec, spec, selection.as_ref(), engine))
             .collect()
     }
 }
@@ -292,10 +301,24 @@ mod tests {
         let p = provider(5000);
         let engine = HistogramEngine::new(&p);
         let fast = engine
-            .hist2d("x", "px", &BinSpec::Uniform(64), &BinSpec::Uniform(64), None, HistEngine::FastBit)
+            .hist2d(
+                "x",
+                "px",
+                &BinSpec::Uniform(64),
+                &BinSpec::Uniform(64),
+                None,
+                HistEngine::FastBit,
+            )
             .unwrap();
         let custom = engine
-            .hist2d("x", "px", &BinSpec::Uniform(64), &BinSpec::Uniform(64), None, HistEngine::Custom)
+            .hist2d(
+                "x",
+                "px",
+                &BinSpec::Uniform(64),
+                &BinSpec::Uniform(64),
+                None,
+                HistEngine::Custom,
+            )
             .unwrap();
         assert_eq!(fast.total(), 5000);
         assert_eq!(custom.total(), 5000);
@@ -312,7 +335,14 @@ mod tests {
         let expected_hits = p.columns["px"].iter().filter(|&&v| v > 9e10).count() as u64;
         for eng in [HistEngine::FastBit, HistEngine::Custom] {
             let h = engine
-                .hist2d("x", "px", &BinSpec::Uniform(32), &BinSpec::Uniform(32), Some(&cond), eng)
+                .hist2d(
+                    "x",
+                    "px",
+                    &BinSpec::Uniform(32),
+                    &BinSpec::Uniform(32),
+                    Some(&cond),
+                    eng,
+                )
                 .unwrap();
             assert_eq!(h.total(), expected_hits, "engine {eng:?}");
         }
@@ -343,7 +373,12 @@ mod tests {
         // touch the raw data and still produce identical counts.
         let idx_edges = p.indexes["px"].edges().clone();
         let fast = engine
-            .hist1d("px", &BinSpec::Edges(idx_edges.clone()), None, HistEngine::FastBit)
+            .hist1d(
+                "px",
+                &BinSpec::Edges(idx_edges.clone()),
+                None,
+                HistEngine::FastBit,
+            )
             .unwrap();
         let custom = engine
             .hist1d("px", &BinSpec::Edges(idx_edges), None, HistEngine::Custom)
@@ -371,7 +406,14 @@ mod tests {
         let engine = HistogramEngine::new(&p);
         let cond = QueryExpr::pred("px", ValueRange::gt(1e30));
         let h = engine
-            .hist2d("x", "px", &BinSpec::Uniform(16), &BinSpec::Uniform(16), Some(&cond), HistEngine::FastBit)
+            .hist2d(
+                "x",
+                "px",
+                &BinSpec::Uniform(16),
+                &BinSpec::Uniform(16),
+                Some(&cond),
+                HistEngine::FastBit,
+            )
             .unwrap();
         assert_eq!(h.total(), 0);
     }
@@ -386,7 +428,12 @@ mod tests {
             ("y".to_string(), "px".to_string()),
         ];
         let hists = engine
-            .hist2d_pairs(&pairs, &BinSpec::Uniform(32), Some(&cond), HistEngine::FastBit)
+            .hist2d_pairs(
+                &pairs,
+                &BinSpec::Uniform(32),
+                Some(&cond),
+                HistEngine::FastBit,
+            )
             .unwrap();
         assert_eq!(hists.len(), 2);
         let hits = p.columns["px"].iter().filter(|&&v| v > 5e10).count() as u64;

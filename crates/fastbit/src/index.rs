@@ -66,10 +66,12 @@ impl BitmapIndex {
         unbinned: Vec<u32>,
     ) -> Result<Self> {
         if bitmaps.len() != edges.num_bins() {
-            return Err(FastBitError::Binning(histogram::BinningError::ShapeMismatch {
-                expected: edges.num_bins(),
-                found: bitmaps.len(),
-            }));
+            return Err(FastBitError::Binning(
+                histogram::BinningError::ShapeMismatch {
+                    expected: edges.num_bins(),
+                    found: bitmaps.len(),
+                },
+            ));
         }
         for b in &bitmaps {
             if b.len() != num_rows as u64 {
@@ -201,9 +203,13 @@ impl BitmapIndex {
 }
 
 /// Largest representable f64 strictly less than `x` (bounded below by `lo`).
+///
+/// Must use [`f64::next_down`]: naively decrementing the bit pattern moves
+/// *toward zero* for negative values, which would make a bin's computed
+/// maximum exceed its upper boundary and misclassify boundary bins on
+/// columns with negative values.
 fn prev_toward(x: f64, lo: f64) -> f64 {
-    let prev = f64::from_bits(x.to_bits() - 1);
-    prev.max(lo)
+    x.next_down().max(lo)
 }
 
 /// An index over the particle-identifier column.

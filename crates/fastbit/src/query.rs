@@ -558,7 +558,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::Number(value));
             }
             other => {
-                return Err(FastBitError::Parse(format!("unexpected character '{other}'")));
+                return Err(FastBitError::Parse(format!(
+                    "unexpected character '{other}'"
+                )));
             }
         }
     }
@@ -622,9 +624,15 @@ impl Parser {
     }
 
     fn parse_comparison(&mut self) -> Result<QueryExpr> {
-        let lhs = self.bump().ok_or_else(|| FastBitError::Parse("unexpected end of query".into()))?;
-        let op = self.bump().ok_or_else(|| FastBitError::Parse("expected comparison operator".into()))?;
-        let rhs = self.bump().ok_or_else(|| FastBitError::Parse("expected comparison operand".into()))?;
+        let lhs = self
+            .bump()
+            .ok_or_else(|| FastBitError::Parse("unexpected end of query".into()))?;
+        let op = self
+            .bump()
+            .ok_or_else(|| FastBitError::Parse("expected comparison operator".into()))?;
+        let rhs = self
+            .bump()
+            .ok_or_else(|| FastBitError::Parse("expected comparison operand".into()))?;
         match (lhs, op, rhs) {
             (Token::Ident(col), op, Token::Number(v)) => {
                 let range = match op {
@@ -773,7 +781,10 @@ mod tests {
     fn missing_column_is_reported() {
         let p = provider(false);
         let expr = QueryExpr::pred("nope", ValueRange::gt(0.0));
-        assert!(matches!(evaluate(&expr, &p), Err(FastBitError::UnknownColumn(_))));
+        assert!(matches!(
+            evaluate(&expr, &p),
+            Err(FastBitError::UnknownColumn(_))
+        ));
     }
 
     #[test]
@@ -791,7 +802,10 @@ mod tests {
     fn columns_are_collected_for_contracts() {
         let expr = parse_query("px > 1e9 && (py < 1e8 || y > 0) && !(px <= 2e9)").unwrap();
         let cols: Vec<String> = expr.columns().into_iter().collect();
-        assert_eq!(cols, vec!["px".to_string(), "py".to_string(), "y".to_string()]);
+        assert_eq!(
+            cols,
+            vec!["px".to_string(), "py".to_string(), "y".to_string()]
+        );
     }
 
     #[test]
@@ -800,7 +814,10 @@ mod tests {
         let expr = parse_query("px > 5e10 && y <= 100").unwrap();
         let sel = evaluate(&expr, &p).unwrap();
         for row in 0..p.num_rows() {
-            assert_eq!(expr.matches_row(&p, row).unwrap(), sel.to_rows().contains(&row));
+            assert_eq!(
+                expr.matches_row(&p, row).unwrap(),
+                sel.to_rows().contains(&row)
+            );
         }
     }
 

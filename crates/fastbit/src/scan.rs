@@ -133,7 +133,13 @@ mod tests {
         )
         .unwrap();
         let selection = scan_query(&expr, &p).unwrap();
-        let two_phase = Hist2D::from_data_masked(xe, ye, &p.columns["x"], &p.columns["px"], selection.iter_rows());
+        let two_phase = Hist2D::from_data_masked(
+            xe,
+            ye,
+            &p.columns["x"],
+            &p.columns["px"],
+            selection.iter_rows(),
+        );
         assert_eq!(fused.counts(), two_phase.counts());
     }
 

@@ -168,7 +168,11 @@ impl<'a> RunCursor<'a> {
         self.pos += 1;
         self.current = Some(if w & FILL_FLAG != 0 {
             Run {
-                pattern: if w & FILL_ONE_FLAG != 0 { LITERAL_MASK } else { 0 },
+                pattern: if w & FILL_ONE_FLAG != 0 {
+                    LITERAL_MASK
+                } else {
+                    0
+                },
                 groups: (w & FILL_COUNT_MASK) as u64,
                 is_fill: true,
             }
@@ -480,7 +484,7 @@ impl<'a> Iterator for WahOnesIter<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     #[test]
     fn zeros_and_ones() {
@@ -491,8 +495,16 @@ mod tests {
         assert_eq!(o.count_ones(), 1000);
         assert_eq!(o.iter_ones().count(), 1000);
         // Long uniform runs compress to a handful of words.
-        assert!(z.num_words() <= 2, "zeros should compress: {} words", z.num_words());
-        assert!(o.num_words() <= 2, "ones should compress: {} words", o.num_words());
+        assert!(
+            z.num_words() <= 2,
+            "zeros should compress: {} words",
+            z.num_words()
+        );
+        assert!(
+            o.num_words() <= 2,
+            "ones should compress: {} words",
+            o.num_words()
+        );
     }
 
     #[test]
@@ -515,12 +527,18 @@ mod tests {
     fn and_or_not_small() {
         let a = Wah::from_sorted_indices(100, vec![1, 5, 50, 99]);
         let b = Wah::from_sorted_indices(100, vec![5, 50, 60]);
-        assert_eq!(a.and(&b).unwrap().iter_ones().collect::<Vec<_>>(), vec![5, 50]);
+        assert_eq!(
+            a.and(&b).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![5, 50]
+        );
         assert_eq!(
             a.or(&b).unwrap().iter_ones().collect::<Vec<_>>(),
             vec![1, 5, 50, 60, 99]
         );
-        assert_eq!(a.and_not(&b).unwrap().iter_ones().collect::<Vec<_>>(), vec![1, 99]);
+        assert_eq!(
+            a.and_not(&b).unwrap().iter_ones().collect::<Vec<_>>(),
+            vec![1, 99]
+        );
         let n = a.not();
         assert_eq!(n.count_ones(), 96);
         assert_eq!(n.len(), 100);
@@ -540,7 +558,10 @@ mod tests {
     fn length_mismatch_is_error() {
         let a = Wah::zeros(10);
         let b = Wah::zeros(11);
-        assert!(matches!(a.and(&b), Err(FastBitError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.and(&b),
+            Err(FastBitError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -550,7 +571,11 @@ mod tests {
         let n = 1_000_000u64;
         let idx: Vec<u64> = (0..n).step_by(10_000).collect();
         let w = Wah::from_sorted_indices(n, idx);
-        assert!(w.size_in_bytes() < 4096, "compressed size {}", w.size_in_bytes());
+        assert!(
+            w.size_in_bytes() < 4096,
+            "compressed size {}",
+            w.size_in_bytes()
+        );
         assert!(w.compression_ratio() > 30.0);
     }
 
@@ -566,11 +591,7 @@ mod tests {
         assert_eq!(w.num_words(), 2, "adjacent same-value fills must coalesce");
     }
 
-    fn reference_op(
-        a: &[bool],
-        b: &[bool],
-        op: fn(bool, bool) -> bool,
-    ) -> Vec<u64> {
+    fn reference_op(a: &[bool], b: &[bool], op: fn(bool, bool) -> bool) -> Vec<u64> {
         a.iter()
             .zip(b.iter())
             .enumerate()
@@ -579,64 +600,138 @@ mod tests {
             .collect()
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_matches_reference(bits in prop::collection::vec(any::<bool>(), 0..400)) {
-            let w = Wah::from_bools(&bits);
-            prop_assert_eq!(w.len(), bits.len() as u64);
-            let expected: Vec<u64> = bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u64).collect();
-            prop_assert_eq!(w.iter_ones().collect::<Vec<_>>(), expected.clone());
-            prop_assert_eq!(w.count_ones(), expected.len() as u64);
-        }
+    // Randomized property tests. proptest is not available in the offline
+    // build environment, so these drive the same properties from a seeded
+    // generator: lengths are drawn to straddle the 31-bit group boundaries
+    // and densities sweep from all-zero through literal-dense to all-one.
 
-        #[test]
-        fn prop_logical_ops_match_reference(
-            pair in prop::collection::vec((any::<bool>(), any::<bool>()), 1..500)
-        ) {
-            let a_bits: Vec<bool> = pair.iter().map(|p| p.0).collect();
-            let b_bits: Vec<bool> = pair.iter().map(|p| p.1).collect();
+    /// Densities covering the adversarial regimes: empty, ultra-sparse (long
+    /// 0-fills), mixed literal, dense (long 1-fills with holes), and full.
+    const DENSITIES: [f64; 5] = [0.0, 0.02, 0.5, 0.98, 1.0];
+
+    fn random_bools(rng: &mut StdRng, len: usize, density: f64) -> Vec<bool> {
+        (0..len)
+            .map(|_| rng.gen_range(0.0..1.0) < density)
+            .collect()
+    }
+
+    /// Lengths that straddle the 31-bit WAH group boundary and multi-group
+    /// fills, plus a few arbitrary ones.
+    fn interesting_length(rng: &mut StdRng, case: usize) -> usize {
+        let boundaries = [1, 30, 31, 32, 61, 62, 63, 93, 310, 311, 400];
+        if case.is_multiple_of(2) {
+            boundaries[case / 2 % boundaries.len()]
+        } else {
+            rng.gen_range(1..500)
+        }
+    }
+
+    #[test]
+    fn randomized_roundtrip_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for case in 0..200 {
+            let len = if case == 0 {
+                0
+            } else {
+                interesting_length(&mut rng, case)
+            };
+            let density = DENSITIES[case % DENSITIES.len()];
+            let bits = random_bools(&mut rng, len, density);
+            let w = Wah::from_bools(&bits);
+            assert_eq!(w.len(), bits.len() as u64);
+            let expected: Vec<u64> = bits
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(
+                w.iter_ones().collect::<Vec<_>>(),
+                expected,
+                "case {case} len {len}"
+            );
+            assert_eq!(w.count_ones(), expected.len() as u64);
+        }
+    }
+
+    #[test]
+    fn randomized_logical_ops_match_reference() {
+        let mut rng = StdRng::seed_from_u64(0xB0B5);
+        for case in 0..200 {
+            let len = interesting_length(&mut rng, case);
+            let da = DENSITIES[case % DENSITIES.len()];
+            let db = DENSITIES[(case / DENSITIES.len()) % DENSITIES.len()];
+            let a_bits = random_bools(&mut rng, len, da);
+            let b_bits = random_bools(&mut rng, len, db);
             let a = Wah::from_bools(&a_bits);
             let b = Wah::from_bools(&b_bits);
-            prop_assert_eq!(
+            assert_eq!(
                 a.and(&b).unwrap().iter_ones().collect::<Vec<_>>(),
-                reference_op(&a_bits, &b_bits, |x, y| x && y)
+                reference_op(&a_bits, &b_bits, |x, y| x && y),
+                "AND case {case} len {len} densities {da}/{db}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 a.or(&b).unwrap().iter_ones().collect::<Vec<_>>(),
-                reference_op(&a_bits, &b_bits, |x, y| x || y)
+                reference_op(&a_bits, &b_bits, |x, y| x || y),
+                "OR case {case} len {len} densities {da}/{db}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 a.and_not(&b).unwrap().iter_ones().collect::<Vec<_>>(),
-                reference_op(&a_bits, &b_bits, |x, y| x && !y)
+                reference_op(&a_bits, &b_bits, |x, y| x && !y),
+                "AND-NOT case {case} len {len} densities {da}/{db}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 a.xor(&b).unwrap().iter_ones().collect::<Vec<_>>(),
-                reference_op(&a_bits, &b_bits, |x, y| x ^ y)
+                reference_op(&a_bits, &b_bits, |x, y| x ^ y),
+                "XOR case {case} len {len} densities {da}/{db}"
             );
         }
+    }
 
-        #[test]
-        fn prop_not_is_involution(bits in prop::collection::vec(any::<bool>(), 1..400)) {
+    #[test]
+    fn randomized_not_is_involution() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        for case in 0..200 {
+            let len = interesting_length(&mut rng, case);
+            let bits = random_bools(&mut rng, len, DENSITIES[case % DENSITIES.len()]);
             let w = Wah::from_bools(&bits);
             let back = w.not().not();
-            prop_assert_eq!(back.iter_ones().collect::<Vec<_>>(), w.iter_ones().collect::<Vec<_>>());
-            prop_assert_eq!(w.count_ones() + w.not().count_ones(), bits.len() as u64);
+            assert_eq!(
+                back.iter_ones().collect::<Vec<_>>(),
+                w.iter_ones().collect::<Vec<_>>(),
+                "case {case} len {len}"
+            );
+            assert_eq!(w.count_ones() + w.not().count_ones(), bits.len() as u64);
         }
+    }
 
-        #[test]
-        fn prop_runs_compress(
-            runs in prop::collection::vec((any::<bool>(), 1u64..2000), 1..20)
-        ) {
+    #[test]
+    fn randomized_runs_compress() {
+        let mut rng = StdRng::seed_from_u64(0xD00D);
+        for case in 0..100 {
+            let num_runs = rng.gen_range(1..20usize);
             let mut builder = WahBuilder::new();
-            let mut reference = Vec::new();
-            for (bit, count) in &runs {
-                builder.push_run(*bit, *count);
-                reference.extend(std::iter::repeat(*bit).take(*count as usize));
+            let mut reference: Vec<bool> = Vec::new();
+            for _ in 0..num_runs {
+                let bit = rng.gen_range(0..2u32) == 1;
+                // Run lengths biased toward group-boundary multiples.
+                let count = match rng.gen_range(0..3u32) {
+                    0 => rng.gen_range(1..2000u64),
+                    1 => 31 * rng.gen_range(1..64u64),
+                    _ => 31 * rng.gen_range(1..64u64) + rng.gen_range(0..31u64),
+                };
+                builder.push_run(bit, count);
+                reference.extend(std::iter::repeat_n(bit, count as usize));
             }
             let w = builder.finish();
-            prop_assert_eq!(w.len(), reference.len() as u64);
-            let expected: Vec<u64> = reference.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i as u64).collect();
-            prop_assert_eq!(w.iter_ones().collect::<Vec<_>>(), expected);
+            assert_eq!(w.len(), reference.len() as u64, "case {case}");
+            let expected: Vec<u64> = reference
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(w.iter_ones().collect::<Vec<_>>(), expected, "case {case}");
         }
     }
 }

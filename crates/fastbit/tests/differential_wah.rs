@@ -1,0 +1,172 @@
+//! Differential tests: the uncompressed [`BitVec`] is the reference oracle
+//! for every [`Wah`] operation.
+//!
+//! Patterns are adversarial for a run-length scheme: all-zero, all-one, long
+//! uniform runs, literal-dense noise, sparse stride patterns, and lengths
+//! chosen to straddle the 31-bit WAH group boundary.
+
+use fastbit::{BitVec, Wah};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Lengths around the 31-bit group boundary, multi-group fills and a couple
+/// of larger sizes.
+const LENGTHS: [usize; 14] = [
+    1,
+    7,
+    30,
+    31,
+    32,
+    61,
+    62,
+    63,
+    93,
+    124,
+    310,
+    1000,
+    31 * 100,
+    4097,
+];
+
+/// Build matched (BitVec, Wah) pairs for one adversarial family.
+fn pattern_pairs(len: usize, rng: &mut StdRng) -> Vec<(&'static str, BitVec, Wah)> {
+    let mut out = Vec::new();
+
+    let families: Vec<(&'static str, Vec<bool>)> = vec![
+        ("all-zero", vec![false; len]),
+        ("all-one", vec![true; len]),
+        ("long-runs", (0..len).map(|i| (i / 97) % 2 == 0).collect()),
+        (
+            "literal-dense",
+            (0..len).map(|_| rng.gen_range(0..2u32) == 1).collect(),
+        ),
+        ("sparse", (0..len).map(|i| i % 37 == 0).collect()),
+        (
+            "head-tail",
+            (0..len).map(|i| i == 0 || i == len - 1).collect(),
+        ),
+    ];
+
+    for (name, bits) in families {
+        let bv = BitVec::from_bools(&bits);
+        let wah = Wah::from_bools(&bits);
+        out.push((name, bv, wah));
+    }
+    out
+}
+
+#[test]
+fn wah_roundtrip_matches_bitvec() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for &len in &LENGTHS {
+        for (name, bv, wah) in pattern_pairs(len, &mut rng) {
+            assert_eq!(wah.len(), bv.len() as u64, "{name}/{len}");
+            assert_eq!(wah.to_bitvec(), bv, "{name}/{len}: to_bitvec");
+            assert_eq!(
+                Wah::from_bitvec(&bv),
+                wah,
+                "{name}/{len}: from_bitvec disagrees with from_bools"
+            );
+            let wah_ones: Vec<usize> = wah.iter_ones().map(|i| i as usize).collect();
+            let bv_ones: Vec<usize> = bv.iter_ones().collect();
+            assert_eq!(wah_ones, bv_ones, "{name}/{len}: iter_ones");
+        }
+    }
+}
+
+#[test]
+fn wah_popcount_matches_bitvec() {
+    let mut rng = StdRng::seed_from_u64(202);
+    for &len in &LENGTHS {
+        for (name, bv, wah) in pattern_pairs(len, &mut rng) {
+            assert_eq!(wah.count_ones(), bv.count_ones(), "{name}/{len}");
+        }
+    }
+}
+
+#[test]
+fn wah_and_matches_bitvec() {
+    let mut rng = StdRng::seed_from_u64(303);
+    for &len in &LENGTHS {
+        let pairs = pattern_pairs(len, &mut rng);
+        for (na, bva, wa) in &pairs {
+            for (nb, bvb, wb) in &pairs {
+                let mut expect = bva.clone();
+                expect.and_assign(bvb);
+                let got = wa.and(wb).unwrap();
+                assert_eq!(got.to_bitvec(), expect, "{na} AND {nb} at len {len}");
+                assert_eq!(got.count_ones(), expect.count_ones());
+            }
+        }
+    }
+}
+
+#[test]
+fn wah_or_matches_bitvec() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for &len in &LENGTHS {
+        let pairs = pattern_pairs(len, &mut rng);
+        for (na, bva, wa) in &pairs {
+            for (nb, bvb, wb) in &pairs {
+                let mut expect = bva.clone();
+                expect.or_assign(bvb);
+                let got = wa.or(wb).unwrap();
+                assert_eq!(got.to_bitvec(), expect, "{na} OR {nb} at len {len}");
+                assert_eq!(got.count_ones(), expect.count_ones());
+            }
+        }
+    }
+}
+
+#[test]
+fn wah_not_matches_bitvec() {
+    let mut rng = StdRng::seed_from_u64(505);
+    for &len in &LENGTHS {
+        for (name, bv, wah) in pattern_pairs(len, &mut rng) {
+            let mut expect = bv.clone();
+            expect.not_assign();
+            let got = wah.not();
+            assert_eq!(got.to_bitvec(), expect, "NOT {name} at len {len}");
+            assert_eq!(got.len(), wah.len(), "NOT must preserve logical length");
+            assert_eq!(
+                got.count_ones() + wah.count_ones(),
+                len as u64,
+                "NOT {name} at len {len}: popcount complement"
+            );
+        }
+    }
+}
+
+#[test]
+fn wah_random_sparse_stride_patterns_match_bitvec() {
+    // The shape produced by a binned index: one set bit every `stride` rows,
+    // with two operands at the same stride but shifted phase (so fills
+    // interleave adversarially).
+    for &n in &[2_000usize, 62_000, 200_001] {
+        for &stride in &[3usize, 31, 256, 1024] {
+            let a_idx: Vec<usize> = (0..n).step_by(stride).collect();
+            let b_idx: Vec<usize> = (stride / 2..n).step_by(stride).collect();
+            let bva = BitVec::from_indices(n, a_idx.iter().copied());
+            let bvb = BitVec::from_indices(n, b_idx.iter().copied());
+            let wa = Wah::from_sorted_indices(n as u64, a_idx.iter().map(|&i| i as u64));
+            let wb = Wah::from_sorted_indices(n as u64, b_idx.iter().map(|&i| i as u64));
+
+            assert_eq!(wa.count_ones(), bva.count_ones());
+
+            let mut expect_and = bva.clone();
+            expect_and.and_assign(&bvb);
+            assert_eq!(
+                wa.and(&wb).unwrap().to_bitvec(),
+                expect_and,
+                "n={n} stride={stride}"
+            );
+
+            let mut expect_or = bva.clone();
+            expect_or.or_assign(&bvb);
+            assert_eq!(
+                wa.or(&wb).unwrap().to_bitvec(),
+                expect_or,
+                "n={n} stride={stride}"
+            );
+        }
+    }
+}

@@ -101,7 +101,11 @@ impl AdaptiveHist2D {
     pub fn outlier_bins(&self) -> Vec<crate::hist2d::Bin2D> {
         match self.min_density {
             None => Vec::new(),
-            Some(t) => self.hist.iter_non_empty().filter(|b| b.density < t).collect(),
+            Some(t) => self
+                .hist
+                .iter_non_empty()
+                .filter(|b| b.density < t)
+                .collect(),
         }
     }
 
@@ -193,7 +197,9 @@ mod tests {
     fn outlier_bins_split_by_density() {
         let xs = skewed_data(5000);
         let ys = xs.clone();
-        let a = AdaptiveHist2D::build(&xs, &ys, 8, 8).unwrap().with_min_density(1.0);
+        let a = AdaptiveHist2D::build(&xs, &ys, 8, 8)
+            .unwrap()
+            .with_min_density(1.0);
         let outliers = a.outlier_bins();
         let dense = a.dense_bins();
         let total_bins = a.hist().non_empty_count();

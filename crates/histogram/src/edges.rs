@@ -46,7 +46,10 @@ impl fmt::Display for BinningError {
             BinningError::NonMonotonic => write!(f, "bin boundaries must be strictly increasing"),
             BinningError::NotFinite => write!(f, "bin boundaries and data must be finite"),
             BinningError::ShapeMismatch { expected, found } => {
-                write!(f, "histogram shape mismatch: expected {expected} bins, found {found}")
+                write!(
+                    f,
+                    "histogram shape mismatch: expected {expected} bins, found {found}"
+                )
             }
         }
     }
@@ -357,7 +360,10 @@ mod tests {
 
     #[test]
     fn uniform_rejects_bad_input() {
-        assert!(matches!(BinEdges::uniform(0.0, 1.0, 0), Err(BinningError::ZeroBins)));
+        assert!(matches!(
+            BinEdges::uniform(0.0, 1.0, 0),
+            Err(BinningError::ZeroBins)
+        ));
         assert!(matches!(
             BinEdges::uniform(1.0, 1.0, 4),
             Err(BinningError::EmptyRange { .. })
@@ -375,7 +381,11 @@ mod tests {
         assert_eq!(e.locate(0.999), Some(0));
         assert_eq!(e.locate(1.0), Some(1));
         assert_eq!(e.locate(9.5), Some(9));
-        assert_eq!(e.locate(10.0), Some(9), "upper boundary included in last bin");
+        assert_eq!(
+            e.locate(10.0),
+            Some(9),
+            "upper boundary included in last bin"
+        );
         assert_eq!(e.locate(10.0001), None);
         assert_eq!(e.locate(-0.0001), None);
         assert_eq!(e.locate(f64::NAN), None);
@@ -430,7 +440,14 @@ mod tests {
     #[test]
     fn precision_boundaries_are_low_precision() {
         let data: Vec<f64> = (0..1000).map(|i| i as f64 * 7.3e8 + 1.23e7).collect();
-        let e = BinEdges::from_strategy(&data, &Binning::Precision { bins: 16, digits: 2 }).unwrap();
+        let e = BinEdges::from_strategy(
+            &data,
+            &Binning::Precision {
+                bins: 16,
+                digits: 2,
+            },
+        )
+        .unwrap();
         for b in &e.boundaries()[1..e.boundaries().len() - 1] {
             // Two significant digits: b / 10^floor(log10 b) rounded to 1 decimal.
             let mag = b.abs().log10().floor();

@@ -31,7 +31,11 @@ impl Hist1D {
 
     /// Build a histogram of the subset of `data` selected by `mask`
     /// (a conditional histogram computed by sequential scan).
-    pub fn from_data_masked(edges: BinEdges, data: &[f64], mask: impl Iterator<Item = usize>) -> Self {
+    pub fn from_data_masked(
+        edges: BinEdges,
+        data: &[f64],
+        mask: impl Iterator<Item = usize>,
+    ) -> Self {
         let mut h = Self::new(edges);
         for i in mask {
             h.push(data[i]);

@@ -74,7 +74,11 @@ impl Hist2D {
     }
 
     /// Construct from precomputed counts (index-accelerated path).
-    pub fn from_counts(x_edges: BinEdges, y_edges: BinEdges, counts: Vec<u64>) -> crate::Result<Self> {
+    pub fn from_counts(
+        x_edges: BinEdges,
+        y_edges: BinEdges,
+        counts: Vec<u64>,
+    ) -> crate::Result<Self> {
         let expected = x_edges.num_bins() * y_edges.num_bins();
         if counts.len() != expected {
             return Err(BinningError::ShapeMismatch {
@@ -168,24 +172,27 @@ impl Hist2D {
     /// Iterate over non-empty bins with their value ranges and densities.
     pub fn iter_non_empty(&self) -> impl Iterator<Item = Bin2D> + '_ {
         let ny = self.y_edges.num_bins();
-        self.counts.iter().enumerate().filter_map(move |(flat, &count)| {
-            if count == 0 {
-                return None;
-            }
-            let ix = flat / ny;
-            let iy = flat % ny;
-            let x_range = self.x_edges.bin_range(ix);
-            let y_range = self.y_edges.bin_range(iy);
-            let area = (x_range.1 - x_range.0) * (y_range.1 - y_range.0);
-            Some(Bin2D {
-                ix,
-                iy,
-                count,
-                x_range,
-                y_range,
-                density: count as f64 / area,
+        self.counts
+            .iter()
+            .enumerate()
+            .filter_map(move |(flat, &count)| {
+                if count == 0 {
+                    return None;
+                }
+                let ix = flat / ny;
+                let iy = flat % ny;
+                let x_range = self.x_edges.bin_range(ix);
+                let y_range = self.y_edges.bin_range(iy);
+                let area = (x_range.1 - x_range.0) * (y_range.1 - y_range.0);
+                Some(Bin2D {
+                    ix,
+                    iy,
+                    count,
+                    x_range,
+                    y_range,
+                    density: count as f64 / area,
+                })
             })
-        })
     }
 
     /// Non-empty bins sorted back-to-front: ascending count for uniform bins,
@@ -209,7 +216,8 @@ impl Hist2D {
         let counts: Vec<u64> = (0..self.x_edges.num_bins())
             .map(|ix| self.counts[ix * ny..(ix + 1) * ny].iter().sum())
             .collect();
-        crate::Hist1D::from_counts(self.x_edges.clone(), counts).expect("shape matches by construction")
+        crate::Hist1D::from_counts(self.x_edges.clone(), counts)
+            .expect("shape matches by construction")
     }
 
     /// Marginal histogram along the second variable.
@@ -219,7 +227,8 @@ impl Hist2D {
         for (flat, &c) in self.counts.iter().enumerate() {
             counts[flat % ny] += c;
         }
-        crate::Hist1D::from_counts(self.y_edges.clone(), counts).expect("shape matches by construction")
+        crate::Hist1D::from_counts(self.y_edges.clone(), counts)
+            .expect("shape matches by construction")
     }
 
     /// Add the counts of `other` into `self`; shapes must match.
@@ -326,11 +335,19 @@ mod tests {
         // Bin (0,0) has area 1 with 2 records (density 2); bin (1,1) has
         // area 81 with 3 records (density ~0.037). Count order and density
         // order disagree; adaptive path must use density.
-        let h = Hist2D::from_data(xe, ye, &[0.5, 0.5, 5.0, 6.0, 7.0], &[0.5, 0.5, 5.0, 6.0, 7.0]);
+        let h = Hist2D::from_data(
+            xe,
+            ye,
+            &[0.5, 0.5, 5.0, 6.0, 7.0],
+            &[0.5, 0.5, 5.0, 6.0, 7.0],
+        );
         let order = h.bins_back_to_front();
         assert_eq!(order.len(), 2);
         assert!(order[0].density < order[1].density);
-        assert_eq!(order[1].count, 2, "densest bin drawn last has fewer records");
+        assert_eq!(
+            order[1].count, 2,
+            "densest bin drawn last has fewer records"
+        );
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod hist1d;
 pub mod hist2d;
 
 pub use adaptive::{rebin_equal_weight, AdaptiveHist2D};
-pub use edges::{BinEdges, BinningError, Binning};
+pub use edges::{BinEdges, Binning, BinningError};
 pub use hist1d::Hist1D;
 pub use hist2d::Hist2D;
 

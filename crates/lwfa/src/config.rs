@@ -72,7 +72,7 @@ impl SimConfig {
             deceleration_per_step: 2.0e9,
             thermal_momentum: 4.0e8,
             transverse_extent: 3.0e-5,
-            seed: 0x5eed_2d,
+            seed: 0x5e_ed_2d,
         }
     }
 
@@ -94,7 +94,7 @@ impl SimConfig {
             deceleration_per_step: 3.0e9,
             thermal_momentum: 5.0e8,
             transverse_extent: 2.5e-5,
-            seed: 0x5eed_3d,
+            seed: 0x5e_ed_3d,
         }
     }
 
@@ -154,7 +154,10 @@ mod tests {
         let (b1_lo, b1_hi) = c.bucket_range(20, 1);
         let (b2_lo, b2_hi) = c.bucket_range(20, 2);
         assert_eq!(b1_hi, c.window_hi(20));
-        assert!((b2_hi - b1_lo).abs() < 1e-12, "bucket 2 ends where bucket 1 begins");
+        assert!(
+            (b2_hi - b1_lo).abs() < 1e-12,
+            "bucket 2 ends where bucket 1 begins"
+        );
         assert!((b1_hi - b1_lo - c.wake_wavelength).abs() < 1e-12);
         assert!(b2_lo < b1_lo);
     }

@@ -144,7 +144,10 @@ impl Simulation {
                     // Small thermal jitter.
                     p.x += p.px.signum() * config.window_speed * 1e-3;
                 }
-                ParticleState::Trapped { bucket, injected_at } => {
+                ParticleState::Trapped {
+                    bucket,
+                    injected_at,
+                } => {
                     let since = step.saturating_sub(injected_at as usize);
                     p.px = trapped_px(&config, bucket, injected_at, step, p.px_at_injection);
                     // Stay inside the bucket, drifting slowly backwards within
@@ -167,7 +170,10 @@ impl Simulation {
 
         // Fresh plasma streams in through the leading edge to keep the
         // in-window population roughly constant.
-        let deficit = self.config.particles_per_step.saturating_sub(self.particles.len());
+        let deficit = self
+            .config
+            .particles_per_step
+            .saturating_sub(self.particles.len());
         for _ in 0..deficit {
             let p = self.spawn_background(prev_hi.min(hi), hi);
             self.particles.push(p);
@@ -365,9 +371,17 @@ mod tests {
             .filter(|(_, &p)| p > threshold)
             .map(|(&i, _)| i)
             .collect();
-        assert!(!beam_ids.is_empty(), "no beam particles at the final timestep");
+        assert!(
+            !beam_ids.is_empty(),
+            "no beam particles at the final timestep"
+        );
         let at_injection = &tables[config.beam1_injection_step + 1];
-        let present: HashSet<u64> = at_injection.id_column("id").unwrap().iter().copied().collect();
+        let present: HashSet<u64> = at_injection
+            .id_column("id")
+            .unwrap()
+            .iter()
+            .copied()
+            .collect();
         let found = beam_ids.iter().filter(|i| present.contains(i)).count();
         assert!(
             found * 2 >= beam_ids.len(),
@@ -420,7 +434,10 @@ mod tests {
         };
         let beam1_final = mean(b1_range.0, b1_range.1);
         let beam2_final = mean(b2_range.0, b2_range.1);
-        assert!(beam1_final > 0.0 && beam2_final > 0.0, "both beams present at t=37");
+        assert!(
+            beam1_final > 0.0 && beam2_final > 0.0,
+            "both beams present at t=37"
+        );
         assert!(
             beam2_final > beam1_final,
             "after dephasing the second beam has the higher momentum (b1={beam1_final:.3e}, b2={beam2_final:.3e})"
@@ -433,7 +450,10 @@ mod tests {
         let b = Simulation::new(SimConfig::tiny()).run_to_tables().0;
         assert_eq!(a.len(), b.len());
         for (ta, tb) in a.iter().zip(b.iter()) {
-            assert_eq!(ta.float_column("px").unwrap(), tb.float_column("px").unwrap());
+            assert_eq!(
+                ta.float_column("px").unwrap(),
+                tb.float_column("px").unwrap()
+            );
             assert_eq!(ta.id_column("id").unwrap(), tb.id_column("id").unwrap());
         }
     }

@@ -28,10 +28,18 @@ pub enum ParticleState {
 /// momentum afterwards; bucket 2 keeps accelerating for the whole run, which
 /// is why it shows the higher momentum at the final timestep even though
 /// bucket 1 reached the higher peak (paper, Section IV-B).
-pub fn trapped_px(config: &SimConfig, bucket: u8, injected_at: u32, step: usize, px_at_injection: f64) -> f64 {
+pub fn trapped_px(
+    config: &SimConfig,
+    bucket: u8,
+    injected_at: u32,
+    step: usize,
+    px_at_injection: f64,
+) -> f64 {
     let steps_since = step.saturating_sub(injected_at as usize) as f64;
     if bucket == 1 && step > config.beam1_dephasing_step {
-        let accel_steps = (config.beam1_dephasing_step.saturating_sub(injected_at as usize)) as f64;
+        let accel_steps = (config
+            .beam1_dephasing_step
+            .saturating_sub(injected_at as usize)) as f64;
         let decel_steps = (step - config.beam1_dephasing_step) as f64;
         px_at_injection + accel_steps * config.acceleration_per_step
             - decel_steps * config.deceleration_per_step
@@ -49,7 +57,13 @@ pub fn focusing_factor(steps_since: usize) -> f64 {
 
 /// Peak momentum a bucket-1 particle reaches before dephasing.
 pub fn beam1_peak_px(config: &SimConfig, injected_at: u32, px_at_injection: f64) -> f64 {
-    trapped_px(config, 1, injected_at, config.beam1_dephasing_step, px_at_injection)
+    trapped_px(
+        config,
+        1,
+        injected_at,
+        config.beam1_dephasing_step,
+        px_at_injection,
+    )
 }
 
 /// The `px` threshold that separates trapped particles from the thermal

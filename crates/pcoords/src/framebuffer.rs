@@ -100,6 +100,9 @@ impl Framebuffer {
     /// adjacent parallel axes: the bin's value range on the left axis maps to
     /// `y0a..y0b` and its range on the right axis to `y1a..y1b` (for adaptive
     /// bins the two spans differ in height).
+    // Two x positions and two y spans are inherently eight scalars; bundling
+    // them into a struct would obscure the rasterizer call sites.
+    #[allow(clippy::too_many_arguments)]
     pub fn fill_axis_quad(
         &mut self,
         x0: f64,
@@ -121,7 +124,11 @@ impl Framebuffer {
             let t = ((px as f64 + 0.5 - x0) / span).clamp(0.0, 1.0);
             let top = y0a + (y1a - y0a) * t;
             let bottom = y0b + (y1b - y0b) * t;
-            let (lo, hi) = if top <= bottom { (top, bottom) } else { (bottom, top) };
+            let (lo, hi) = if top <= bottom {
+                (top, bottom)
+            } else {
+                (bottom, top)
+            };
             // Always cover at least one pixel row so very thin bins stay visible.
             let mut lo_px = lo.floor() as i64;
             let mut hi_px = hi.ceil() as i64;
@@ -228,7 +235,16 @@ mod tests {
     #[test]
     fn axis_quad_covers_expected_region() {
         let mut fb = Framebuffer::new(100, 100);
-        fb.fill_axis_quad(10.0, 20.0, 40.0, 90.0, 60.0, 80.0, Rgba::WHITE, BlendMode::Over);
+        fb.fill_axis_quad(
+            10.0,
+            20.0,
+            40.0,
+            90.0,
+            60.0,
+            80.0,
+            Rgba::WHITE,
+            BlendMode::Over,
+        );
         // Left end: rows 20..40 lit at x=10.
         assert!(fb.pixel(10, 30).r > 0.9);
         assert!(fb.pixel(10, 50).r < 0.1);
@@ -244,7 +260,16 @@ mod tests {
     fn thin_quads_still_render() {
         let mut fb = Framebuffer::new(50, 50);
         // Degenerate height (same top and bottom) must still paint a 1-pixel line.
-        fb.fill_axis_quad(5.0, 25.0, 25.0, 45.0, 10.0, 10.0, Rgba::WHITE, BlendMode::Over);
+        fb.fill_axis_quad(
+            5.0,
+            25.0,
+            25.0,
+            45.0,
+            10.0,
+            10.0,
+            Rgba::WHITE,
+            BlendMode::Over,
+        );
         assert!(fb.coverage(Rgba::BLACK) > 0.0);
         // Zero-width quads are ignored.
         let mut fb2 = Framebuffer::new(50, 50);

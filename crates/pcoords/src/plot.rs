@@ -169,7 +169,10 @@ impl ParallelCoordsPlot {
     /// # Panics
     /// Panics when fewer than two axes are supplied.
     pub fn new(config: PlotConfig, axes: Vec<AxisSpec>) -> Self {
-        assert!(axes.len() >= 2, "parallel coordinates need at least two axes");
+        assert!(
+            axes.len() >= 2,
+            "parallel coordinates need at least two axes"
+        );
         Self { config, axes }
     }
 
@@ -208,7 +211,9 @@ impl ParallelCoordsPlot {
         for layer in layers {
             match &layer.data {
                 LayerData::Histograms(hists) => self.render_histogram_layer(&mut fb, hists, layer),
-                LayerData::Polylines(columns) => self.render_polyline_layer(&mut fb, columns, layer),
+                LayerData::Polylines(columns) => {
+                    self.render_polyline_layer(&mut fb, columns, layer)
+                }
             }
         }
         fb
@@ -216,7 +221,11 @@ impl ParallelCoordsPlot {
 
     /// Render a temporal parallel-coordinates plot: one histogram layer per
     /// timestep, each in a distinct colour (Figure 9).
-    pub fn render_temporal(&self, per_timestep: &[(usize, Vec<Hist2D>)], gamma: f64) -> Framebuffer {
+    pub fn render_temporal(
+        &self,
+        per_timestep: &[(usize, Vec<Hist2D>)],
+        gamma: f64,
+    ) -> Framebuffer {
         let n = per_timestep.len();
         let layers: Vec<Layer> = per_timestep
             .iter()
@@ -233,7 +242,14 @@ impl ParallelCoordsPlot {
         let bottom = (self.config.height - self.config.margin) as i64;
         for i in 0..self.axes.len() {
             let x = self.axis_x(i).round() as i64;
-            fb.fill_rect(x, top, x + 1, bottom, self.config.axis_color, BlendMode::Over);
+            fb.fill_rect(
+                x,
+                top,
+                x + 1,
+                bottom,
+                self.config.axis_color,
+                BlendMode::Over,
+            );
         }
     }
 
@@ -261,9 +277,10 @@ impl ParallelCoordsPlot {
                 let y0b = self.value_to_y(pair, bin.x_range.0);
                 let y1a = self.value_to_y(pair + 1, bin.y_range.1);
                 let y1b = self.value_to_y(pair + 1, bin.y_range.0);
-                let color = layer.color.scaled(weight as f32).with_alpha(
-                    (0.15 + 0.85 * weight as f32).clamp(0.0, 1.0) * layer.color.a,
-                );
+                let color = layer
+                    .color
+                    .scaled(weight as f32)
+                    .with_alpha((0.15 + 0.85 * weight as f32).clamp(0.0, 1.0) * layer.color.a);
                 fb.fill_axis_quad(x0, y0a, y0b, x1, y1a, y1b, color, BlendMode::Over);
             }
         }
@@ -310,8 +327,12 @@ mod tests {
     fn sample_columns(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         // Deliberately skewed distributions so bins have very different
         // counts (gamma and sparse-bin pruning tests rely on that).
-        let x: Vec<f64> = (0..n).map(|i| ((i % 100) as f64 / 10.0).powi(2) / 10.0).collect();
-        let px: Vec<f64> = (0..n).map(|i| (((i * 13) % 100) as f64).powi(2) / 100.0).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i % 100) as f64 / 10.0).powi(2) / 10.0)
+            .collect();
+        let px: Vec<f64> = (0..n)
+            .map(|i| (((i * 13) % 100) as f64).powi(2) / 100.0)
+            .collect();
         let y: Vec<f64> = (0..n)
             .map(|i| (((i % 20) as f64 - 10.0) / 10.0).powi(3))
             .collect();
@@ -334,7 +355,10 @@ mod tests {
         let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
         let layer = Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::CONTEXT_GRAY);
         let fb = plot.render(&[layer]);
-        assert!(fb.coverage(Rgba::BLACK) > 0.05, "histogram plot must light up pixels");
+        assert!(
+            fb.coverage(Rgba::BLACK) > 0.05,
+            "histogram plot must light up pixels"
+        );
     }
 
     #[test]
@@ -350,9 +374,8 @@ mod tests {
     fn lower_gamma_dims_the_plot() {
         let (x, px, y) = sample_columns(5000);
         let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
-        let bright = plot.render(&[
-            Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE).with_gamma(1.0)
-        ]);
+        let bright = plot
+            .render(&[Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE).with_gamma(1.0)]);
         let dim = plot.render(&[
             Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE).with_gamma(0.25)
         ]);
@@ -367,9 +390,11 @@ mod tests {
         let (x, px, y) = sample_columns(2000);
         let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
         let all = plot.render(&[Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE)]);
-        let pruned = plot.render(&[
-            Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE).with_min_brightness(0.9)
-        ]);
+        let pruned =
+            plot.render(
+                &[Layer::histograms(pair_hists(&x, &px, &y, 64), Rgba::WHITE)
+                    .with_min_brightness(0.9)],
+            );
         assert!(pruned.coverage(Rgba::BLACK) < all.coverage(Rgba::BLACK));
     }
 
@@ -386,7 +411,7 @@ mod tests {
         let focus = Layer::histograms(pair_hists(&fx, &fp, &fy, 32), Rgba::FOCUS_RED);
         let fb = plot.render(&[context, focus]);
         // Some pixel in the upper region of the px axis should be reddish.
-        let x_axis1 = ((fb.width()) / 2) as usize;
+        let x_axis1 = fb.width() / 2;
         let mut found_red = false;
         for yy in 0..fb.height() / 3 {
             let p = fb.pixel(x_axis1, yy);
@@ -395,7 +420,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_red, "focus colour must be visible on top of the context");
+        assert!(
+            found_red,
+            "focus colour must be visible on top of the context"
+        );
     }
 
     #[test]
@@ -419,9 +447,8 @@ mod tests {
     fn temporal_rendering_uses_distinct_colors() {
         let (x, px, y) = sample_columns(2000);
         let plot = ParallelCoordsPlot::new(PlotConfig::default(), axes3());
-        let per_step: Vec<(usize, Vec<Hist2D>)> = (0..4)
-            .map(|s| (s, pair_hists(&x, &px, &y, 24)))
-            .collect();
+        let per_step: Vec<(usize, Vec<Hist2D>)> =
+            (0..4).map(|s| (s, pair_hists(&x, &px, &y, 24))).collect();
         let fb = plot.render_temporal(&per_step, 0.8);
         assert!(fb.coverage(Rgba::BLACK) > 0.05);
     }

@@ -72,7 +72,9 @@ impl<'a> BeamAnalyzer<'a> {
 
     /// Load one timestep with every standard column and its indexes.
     pub fn load_step(&self, step: usize) -> Result<Dataset> {
-        Ok(self.catalog.load(step, None, self.engine == HistEngine::FastBit)?)
+        Ok(self
+            .catalog
+            .load(step, None, self.engine == HistEngine::FastBit)?)
     }
 
     /// Select particles at `step` matching `query` (e.g. the beam-selection
@@ -170,9 +172,12 @@ impl<'a> BeamAnalyzer<'a> {
         // First pass: global value ranges of every involved column over the
         // selected particles, so every timestep layer uses identical edges.
         let tracking = self.track(ids)?;
-        let mut ranges: std::collections::BTreeMap<&str, (f64, f64)> = std::collections::BTreeMap::new();
+        let mut ranges: std::collections::BTreeMap<&str, (f64, f64)> =
+            std::collections::BTreeMap::new();
         let mut update = |name: &'static str, value: f64| {
-            let e = ranges.entry(name).or_insert((f64::INFINITY, f64::NEG_INFINITY));
+            let e = ranges
+                .entry(name)
+                .or_insert((f64::INFINITY, f64::NEG_INFINITY));
             e.0 = e.0.min(value);
             e.1 = e.1.max(value);
         };
@@ -190,7 +195,11 @@ impl<'a> BeamAnalyzer<'a> {
 
         let edges_for = |name: &str| -> Result<BinEdges> {
             let (lo, hi) = ranges.get(name).copied().unwrap_or((0.0, 1.0));
-            let (lo, hi) = if lo < hi { (lo, hi) } else { (lo - 1.0, hi + 1.0) };
+            let (lo, hi) = if lo < hi {
+                (lo, hi)
+            } else {
+                (lo - 1.0, hi + 1.0)
+            };
             Ok(BinEdges::uniform(lo, hi, bins)?)
         };
 
@@ -213,7 +222,14 @@ impl<'a> BeamAnalyzer<'a> {
                 } else {
                     BinSpec::Edges(edges_for(b)?)
                 };
-                hists.push(engine.hist2d_with_selection(a, b, &ex, &ey, Some(&selection), self.engine)?);
+                hists.push(engine.hist2d_with_selection(
+                    a,
+                    b,
+                    &ex,
+                    &ey,
+                    Some(&selection),
+                    self.engine,
+                )?);
             }
             per_timestep.push((step, hists));
         }
@@ -270,7 +286,10 @@ mod tests {
             .iter()
             .filter(|t| t.points.last().unwrap().px > t.points.first().unwrap().px)
             .count();
-        assert!(accelerated * 10 >= tracking.traces.len() * 8, "most traces show acceleration");
+        assert!(
+            accelerated * 10 >= tracking.traces.len() * 8,
+            "most traces show acceleration"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -308,7 +327,10 @@ mod tests {
         assert!(!stats.is_empty());
         let first = stats.iter().find(|s| s.count > 0).unwrap();
         let last_stat = stats.last().unwrap();
-        assert!(last_stat.mean_px > first.mean_px, "beam gains momentum over the run");
+        assert!(
+            last_stat.mean_px > first.mean_px,
+            "beam gains momentum over the run"
+        );
         // Beam moves forward with the window.
         assert!(last_stat.mean_x > first.mean_x);
         std::fs::remove_dir_all(&dir).ok();
@@ -323,7 +345,8 @@ mod tests {
         let (ids, _) = analyzer
             .select(last, &QueryExpr::pred("px", ValueRange::gt(threshold)))
             .unwrap();
-        let steps: Vec<usize> = (config.beam2_injection_step..config.beam2_injection_step + 4).collect();
+        let steps: Vec<usize> =
+            (config.beam2_injection_step..config.beam2_injection_step + 4).collect();
         let temporal = analyzer
             .temporal_histograms(&ids, &steps, vec![("x", "px"), ("px", "y")], 24)
             .unwrap();

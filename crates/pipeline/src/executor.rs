@@ -3,7 +3,7 @@
 //! The paper's scalability experiments assign whole timestep files to compute
 //! nodes in a strided, static fashion; every node works through its files
 //! independently and the wall-clock time is the slowest node. [`NodePool`]
-//! reproduces that execution model with one thread per node (crossbeam scoped
+//! reproduces that execution model with one thread per node (std scoped
 //! threads), per-node timing, and the same strided assignment.
 
 use std::time::{Duration, Instant};
@@ -30,7 +30,9 @@ pub struct NodePool {
 impl NodePool {
     /// A pool with `nodes` workers (at least one).
     pub fn new(nodes: usize) -> Self {
-        Self { nodes: nodes.max(1) }
+        Self {
+            nodes: nodes.max(1),
+        }
     }
 
     /// Number of workers.
@@ -57,11 +59,11 @@ impl NodePool {
     {
         let nodes = self.nodes.min(num_items.max(1));
         let work = &work;
-        let thread_results = crossbeam::thread::scope(|scope| {
+        let thread_results = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(nodes);
             for node in 0..nodes {
                 let items = self.assignment(node, num_items);
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let start = Instant::now();
                     let mut out = Vec::with_capacity(items.len());
                     for &item in &items {
@@ -87,8 +89,7 @@ impl NodePool {
                         .map_err(|_| PipelineError::WorkerPanic("node thread panicked".into()))
                 })
                 .collect::<Vec<_>>()
-        })
-        .map_err(|_| PipelineError::WorkerPanic("executor scope panicked".into()))?;
+        });
 
         let mut reports = Vec::with_capacity(nodes);
         let mut tagged: Vec<(usize, T)> = Vec::with_capacity(num_items);
@@ -128,7 +129,7 @@ mod tests {
     #[test]
     fn strided_assignment_covers_all_items_once() {
         let pool = NodePool::new(4);
-        let mut seen = vec![0usize; 10];
+        let mut seen = [0usize; 10];
         for node in 0..4 {
             for item in pool.assignment(node, 10) {
                 seen[item] += 1;
@@ -180,7 +181,7 @@ mod tests {
     fn pool_size_is_clamped_to_at_least_one() {
         let pool = NodePool::new(0);
         assert_eq!(pool.nodes(), 1);
-        let (results, reports, elapsed) = pool.run_timed(3, |i| Ok(i)).unwrap();
+        let (results, reports, elapsed) = pool.run_timed(3, Ok).unwrap();
         assert_eq!(results, vec![0, 1, 2]);
         assert_eq!(reports.len(), 1);
         assert!(elapsed >= reports[0].busy || elapsed.as_nanos() > 0);
@@ -189,7 +190,7 @@ mod tests {
     #[test]
     fn more_nodes_than_items_does_not_spawn_idle_nodes() {
         let pool = NodePool::new(16);
-        let (results, reports) = pool.run(3, |i| Ok(i)).unwrap();
+        let (results, reports) = pool.run(3, Ok).unwrap();
         assert_eq!(results.len(), 3);
         assert!(reports.len() <= 3);
     }

@@ -92,7 +92,9 @@ impl HistogramStage {
     /// Compute the histograms of one timestep.
     pub fn run_one(&self, catalog: &Catalog, step: usize) -> Result<TimestepHistograms> {
         if self.pairs.is_empty() {
-            return Err(PipelineError::InvalidConfig("no axis pairs requested".into()));
+            return Err(PipelineError::InvalidConfig(
+                "no axis pairs requested".into(),
+            ));
         }
         let contract = self.contract();
         let columns = contract.required_columns();
@@ -183,10 +185,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn test_catalog(tag: &str, steps: usize, particles: usize) -> (Catalog, PathBuf) {
-        let dir = std::env::temp_dir().join(format!(
-            "vdx_pipeline_stage_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("vdx_pipeline_stage_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let mut catalog = Catalog::create(&dir).unwrap();
         let mut config = SimConfig::tiny();
@@ -263,7 +263,10 @@ mod tests {
             .per_timestep
             .iter()
             .any(|t| !t.hists[0].y_edges().is_uniform());
-        assert!(any_adaptive, "adaptive binning should produce non-uniform edges");
+        assert!(
+            any_adaptive,
+            "adaptive binning should produce non-uniform edges"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -48,7 +48,10 @@ pub struct ParticleTrace {
 impl ParticleTrace {
     /// Maximum longitudinal momentum reached along the trace.
     pub fn peak_px(&self) -> f64 {
-        self.points.iter().map(|p| p.px).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.px)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The timestep at which the particle first appears in the window.
@@ -115,9 +118,8 @@ impl Tracker {
     /// Track `ids` across every timestep of `catalog`.
     pub fn track(&self, catalog: &Catalog, ids: &[u64], pool: &NodePool) -> Result<TrackingOutput> {
         let steps = catalog.steps();
-        let (matches, per_node, elapsed) = pool.run_timed(steps.len(), |i| {
-            self.track_one(catalog, steps[i], ids)
-        })?;
+        let (matches, per_node, elapsed) =
+            pool.run_timed(steps.len(), |i| self.track_one(catalog, steps[i], ids))?;
 
         let mut per_particle: BTreeMap<u64, Vec<TracePoint>> = BTreeMap::new();
         let mut hits_per_step = Vec::with_capacity(matches.len());
@@ -191,10 +193,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn test_catalog(tag: &str) -> (Catalog, PathBuf, SimConfig) {
-        let dir = std::env::temp_dir().join(format!(
-            "vdx_pipeline_tracker_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("vdx_pipeline_tracker_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let mut catalog = Catalog::create(&dir).unwrap();
         let mut config = SimConfig::tiny();

@@ -1,0 +1,438 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! The build environment has no crates.io access, so the benchmark suite
+//! links against this minimal wall-clock harness instead of the real
+//! criterion. It supports the API surface the `vdx-bench` benches use:
+//! `Criterion::default()` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::new`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros (both the positional and
+//! the `name = …; config = …; targets = …` forms).
+//!
+//! Reporting is intentionally simple: one line per benchmark with the mean,
+//! minimum and maximum per-iteration wall time. There is no statistical
+//! analysis, HTML report or baseline comparison.
+//!
+//! Command-line behaviour: a positional argument filters benchmarks by
+//! substring match on their full id; `--test` (passed by `cargo test` to
+//! `harness = false` bench targets) runs each benchmark exactly once;
+//! `--bench` and other flags are accepted and ignored.
+
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness configuration and entry point (shim of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set how long to run the routine before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the total wall-time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Apply command-line arguments (benchmark filter, `--test` mode).
+    ///
+    /// Unknown flags are accepted and ignored; a flag that is not in the
+    /// known no-value set also consumes its following value, so
+    /// `--sample-size 50` does not turn `50` into a benchmark filter.
+    pub fn configure_from_args(mut self) -> Self {
+        const NO_VALUE_FLAGS: [&str; 7] = [
+            "--test",
+            "--bench",
+            "--verbose",
+            "--quiet",
+            "--exact",
+            "--list",
+            "--noplot",
+        ];
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                s if s.starts_with('-') => {
+                    if !NO_VALUE_FLAGS.contains(&s) && !s.contains('=') {
+                        args.next();
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks. Configuration overrides
+    /// made on the group are local to it, as in real criterion.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("{name}");
+        let sample_size = self.sample_size;
+        let warm_up_time = self.warm_up_time;
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            c: self,
+            name,
+            sample_size,
+            warm_up_time,
+            measurement_time,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().full_name();
+        let (sample_size, warm_up, measurement, test_mode) = (
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.test_mode,
+        );
+        if self.matches(&full) {
+            run_benchmark(&full, sample_size, warm_up, measurement, test_mode, f);
+        }
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and group-local
+/// configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Override the warm-up time for this group only.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Override the measurement budget for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().full_name());
+        if self.c.matches(&full) {
+            run_benchmark(
+                &full,
+                self.sample_size,
+                self.warm_up_time,
+                self.measurement_time,
+                self.c.test_mode,
+                f,
+            );
+        }
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group. (The shim prints results eagerly, so this only exists
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value (`name/param`).
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function_name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self) -> String {
+        match (&self.function_name, &self.parameter) {
+            (Some(f), Some(p)) => format!("{f}/{p}"),
+            (Some(f), None) => f.clone(),
+            (None, Some(p)) => p.clone(),
+            (None, None) => String::new(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function_name: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function_name: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`, black-boxing each return value.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    full_name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    test_mode: bool,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {full_name} ... ok");
+        return;
+    }
+
+    // Calibrate: run single iterations until the warm-up budget is spent,
+    // using the observed time to size the per-sample iteration count.
+    let warm_start = Instant::now();
+    let mut calib_iters: u64 = 0;
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_start.elapsed() < warm_up || calib_iters == 0 {
+        f(&mut b);
+        calib_iters += 1;
+        if calib_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / calib_iters as f64;
+    let budget_per_sample = measurement.as_secs_f64() / sample_size as f64;
+    let iters_per_sample = ((budget_per_sample / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / b.iters.max(1) as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "  {full_name:<40} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        sample_size,
+        iters_per_sample
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    let mut s = String::new();
+    if secs < 1e-6 {
+        let _ = write!(s, "{:.2} ns", secs * 1e9);
+    } else if secs < 1e-3 {
+        let _ = write!(s, "{:.2} µs", secs * 1e6);
+    } else if secs < 1.0 {
+        let _ = write!(s, "{:.2} ms", secs * 1e3);
+    } else {
+        let _ = write!(s, "{:.2} s", secs);
+    }
+    s
+}
+
+/// Define a benchmark group function (shim of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `fn main` running one or more benchmark groups
+/// (shim of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("build", "wah").full_name(), "build/wah");
+        assert_eq!(BenchmarkId::from_parameter(64).full_name(), "64");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 17);
+        assert!(b.elapsed > Duration::ZERO || count == 17);
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut runs = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group.bench_function("inc", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_config_overrides_do_not_leak() {
+        let mut c = Criterion::default()
+            .sample_size(7)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group
+                .warm_up_time(Duration::from_millis(9))
+                .measurement_time(Duration::from_millis(9));
+            assert_eq!(group.sample_size, 3);
+            group.finish();
+        }
+        assert_eq!(c.sample_size, 7, "group sample_size leaked");
+        assert_eq!(c.warm_up_time, Duration::from_millis(1), "warm_up leaked");
+        assert_eq!(
+            c.measurement_time,
+            Duration::from_millis(2),
+            "measurement leaked"
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this small shim instead of the real `rand`. It provides:
+//!
+//! * [`SeedableRng`] with [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over half-open ranges of the numeric types the
+//!   workspace samples (`f64`, `f32` and the primitive integers),
+//! * [`rngs::StdRng`], a xoshiro256++ generator.
+//!
+//! The streams are deterministic per seed but intentionally **not**
+//! bit-compatible with the real `rand::rngs::StdRng`; nothing in the
+//! workspace depends on the exact stream, only on per-seed determinism.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// A random number generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed. Distinct seeds yield
+    /// independent-looking streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open `lo..hi` range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draw one value in `[lo, hi)` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// The raw-output half of a generator: a source of uniform `u64` words.
+pub trait RngCore {
+    /// Next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from the half-open range `range.start..range.end`.
+    ///
+    /// Panics when the range is empty, matching the real `rand`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample from an empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Sample a value of type `T` from its full uniform distribution
+    /// (`f64`/`f32` in `[0, 1)`, integers over their whole domain).
+    fn gen<T: SampleFull>(&mut self) -> T {
+        T::sample_full(self)
+    }
+
+    /// Sample `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from their full domain via [`Rng::gen`].
+pub trait SampleFull {
+    /// Draw one value.
+    fn sample_full<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                // Lemire-style scaling: span fits in u128 for every primitive
+                // integer type up to 64 bits, so the multiply never overflows.
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 as u64 as u128;
+                let word = rng.next_u64() as u128;
+                let off = ((word * span) >> 64) as u64;
+                ((lo as i128) + off as i128) as $t
+            }
+        }
+        impl SampleFull for $t {
+            fn sample_full<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let u = f64::sample_full(rng);
+        let v = lo + u * (hi - lo);
+        // Floating rounding can land exactly on `hi`; clamp back into [lo, hi).
+        if v >= hi {
+            hi - (hi - lo) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleFull for f64 {
+    fn sample_full<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let v = lo + f32::sample_full(rng) * (hi - lo);
+        if v >= hi {
+            hi - (hi - lo) * f32::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleFull for f32 {
+    fn sample_full<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Not stream-compatible with `rand::rngs::StdRng` (which is ChaCha12);
+    /// deterministic per seed, which is all the tests rely on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, as
+            // recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen_range(0..1_000_000u64)).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen_range(0..1_000_000u64)).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.gen_range(0..1_000_000u64)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5..7.25);
+            assert!((-2.5..7.25).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn int_range_respects_bounds_and_hits_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-3i64..5);
+            assert!((-3..5).contains(&v));
+            seen[(v + 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn unit_interval_mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -33,7 +33,11 @@ fn main() -> vdx_core::Result<()> {
     let save = |image: &Framebuffer, name: &str| -> vdx_core::Result<()> {
         let path = image_dir.join(name);
         image.save_ppm(&path)?;
-        println!("  wrote {} ({:.1}% of pixels lit)", path.display(), image.coverage(Rgba::BLACK) * 100.0);
+        println!(
+            "  wrote {} ({:.1}% of pixels lit)",
+            path.display(),
+            image.coverage(Rgba::BLACK) * 100.0
+        );
         Ok(())
     };
 
@@ -41,14 +45,20 @@ fn main() -> vdx_core::Result<()> {
     println!("Figure 2a: polyline rendering of {particles} records");
     let start = std::time::Instant::now();
     let polylines = explorer.render_polylines(step, &axes, None)?;
-    println!("  rendered in {:.3} s (cost grows with record count)", start.elapsed().as_secs_f64());
+    println!(
+        "  rendered in {:.3} s (cost grows with record count)",
+        start.elapsed().as_secs_f64()
+    );
     save(&polylines, "fig2a_polylines.ppm")?;
 
     // (b) Histogram-based rendering, 700 bins per dimension.
     println!("Figure 2b: histogram-based rendering, 700 bins");
     let start = std::time::Instant::now();
     let hist_700 = explorer.render_focus_context(step, &axes, 700, None, 1.0)?;
-    println!("  rendered in {:.3} s (cost depends on bins, not records)", start.elapsed().as_secs_f64());
+    println!(
+        "  rendered in {:.3} s (cost depends on bins, not records)",
+        start.elapsed().as_secs_f64()
+    );
     save(&hist_700, "fig2b_hist700.ppm")?;
 
     // (c) Same rendering with a lower gamma: sparse bins fade out.

@@ -74,12 +74,19 @@ fn main() -> vdx_core::Result<()> {
         peak.mean_px, peak.step, final_stat.mean_px, final_stat.step
     );
     if peak.step < final_stat.step {
-        println!("  -> the beam outran the wave and decelerated after t={}", peak.step);
+        println!(
+            "  -> the beam outran the wave and decelerated after t={}",
+            peak.step
+        );
     }
 
     // --- 3. Beam formation: trace back to injection ---------------------------
     let tracks = explorer.track(&beam.ids)?;
-    let first_seen: Vec<usize> = tracks.traces.iter().filter_map(|t| t.first_step()).collect();
+    let first_seen: Vec<usize> = tracks
+        .traces
+        .iter()
+        .filter_map(|t| t.first_step())
+        .collect();
     let injection = first_seen.iter().copied().min().unwrap_or(0);
     println!(
         "beam formation: traced {} particles; earliest appearance at t={injection}",
@@ -107,8 +114,12 @@ fn main() -> vdx_core::Result<()> {
     // --- 5. Beam evolution: temporal parallel coordinates ---------------------
     let evo_start = sim.beam2_injection_step.min(sim.beam1_injection_step);
     let evo_steps: Vec<usize> = (evo_start..(evo_start + 9).min(steps.len())).collect();
-    let temporal = explorer.render_temporal(&beam.ids, &evo_steps, &["x", "xrel", "px", "py"], 128, 0.9)?;
-    explorer.save_image(&temporal, &image_dir.join(format!("beam_evolution_{tag}.ppm")))?;
+    let temporal =
+        explorer.render_temporal(&beam.ids, &evo_steps, &["x", "xrel", "px", "py"], 128, 0.9)?;
+    explorer.save_image(
+        &temporal,
+        &image_dir.join(format!("beam_evolution_{tag}.ppm")),
+    )?;
     println!(
         "beam evolution: temporal parallel coordinates over t={}..{} written to target/vdx-examples/",
         evo_steps.first().unwrap(),

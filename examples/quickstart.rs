@@ -14,11 +14,12 @@ fn main() -> vdx_core::Result<()> {
     let image_dir = std::path::PathBuf::from("target/vdx-examples");
     std::fs::create_dir_all(&image_dir)?;
 
-    // 1. Generate a scaled-down 2D laser-wakefield dataset (the paper's data
-    //    is 400k–177M particles per timestep; 20k keeps the quickstart fast)
-    //    and build WAH bitmap indexes as the one-time preprocessing step.
+    // 1. Generate a tiny 2D laser-wakefield dataset (the paper's data is
+    //    400k–177M particles per timestep; `tiny()` keeps the quickstart
+    //    runnable in seconds) and build WAH bitmap indexes as the one-time
+    //    preprocessing step.
     println!("generating synthetic LWFA dataset in {}", out_dir.display());
-    let sim = SimConfig::paper_2d(20_000);
+    let sim = SimConfig::tiny();
     let explorer = DataExplorer::generate(&out_dir, sim.clone(), ExplorerConfig::default())?;
     println!(
         "  {} timesteps, {:.1} MB on disk (data + indexes)",
@@ -33,7 +34,10 @@ fn main() -> vdx_core::Result<()> {
     let threshold = lwfa::physics::suggested_beam_threshold(&sim, last);
     let query = format!("px > {threshold:e}");
     let beam = explorer.select(last, &query)?;
-    println!("  query `{query}` at t={last} selected {} particles", beam.ids.len());
+    println!(
+        "  query `{query}` at t={last} selected {} particles",
+        beam.ids.len()
+    );
 
     // 3. Particle tracking: trace the selected identifiers across every
     //    timestep (the operation that used to take hours with scripts and
@@ -58,7 +62,10 @@ fn main() -> vdx_core::Result<()> {
     // 5. A quick look at how the beam evolved.
     let stats = explorer.analyzer().beam_statistics(&beam.ids)?;
     println!("  step   count   mean px       px spread");
-    for s in stats.iter().filter(|s| s.step % 5 == 0 || s.step + 1 == explorer.steps().len()) {
+    for s in stats
+        .iter()
+        .filter(|s| s.step % 5 == 0 || s.step + 1 == explorer.steps().len())
+    {
         println!(
             "  {:>4}  {:>6}  {:>12.4e}  {:>12.4e}",
             s.step, s.count, s.mean_px, s.px_spread

@@ -31,7 +31,13 @@ fn main() -> vdx_core::Result<()> {
     // The paper computes five histogram pairs of the position and momentum
     // fields at 1024x1024 bins with a px > 7e10 condition, and tracks ~500
     // particles selected with px > 1e11.
-    let pairs = vec![("x", "px"), ("y", "py"), ("z", "pz"), ("x", "y"), ("px", "py")];
+    let pairs = vec![
+        ("x", "px"),
+        ("y", "py"),
+        ("z", "pz"),
+        ("x", "y"),
+        ("px", "py"),
+    ];
     let bins = 1024;
     let cond_threshold = lwfa::physics::suggested_beam_threshold(&sim, timesteps - 1);
     let condition = QueryExpr::pred("px", ValueRange::gt(cond_threshold));
@@ -40,7 +46,10 @@ fn main() -> vdx_core::Result<()> {
 
     let node_counts = [1usize, 2, 4, 8];
     println!("\n-- Figures 14/15: parallel histogram computation ({bins}x{bins} bins, 5 pairs) --");
-    println!("{:>6} {:>12} {:>12} {:>12} {:>12}", "nodes", "fb_uncond", "cu_uncond", "fb_cond", "cu_cond");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "nodes", "fb_uncond", "cu_uncond", "fb_cond", "cu_cond"
+    );
     let mut baseline: Option<[f64; 4]> = None;
     for &nodes in &node_counts {
         let pool = NodePool::new(nodes);
@@ -70,18 +79,29 @@ fn main() -> vdx_core::Result<()> {
         }
     }
     if let Some(base) = baseline {
-        println!("   speedup at {} nodes vs 1 node:", node_counts.last().unwrap());
+        println!(
+            "   speedup at {} nodes vs 1 node:",
+            node_counts.last().unwrap()
+        );
         println!("   (rerun the loop above to read them; ideal = number of nodes)");
         let _ = base;
     }
 
-    println!("\n-- Figures 16/17: parallel particle tracking ({} ids) --", track_sel.ids.len());
-    println!("{:>6} {:>12} {:>12} {:>10}", "nodes", "fastbit_s", "custom_s", "speedup_fb");
+    println!(
+        "\n-- Figures 16/17: parallel particle tracking ({} ids) --",
+        track_sel.ids.len()
+    );
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "nodes", "fastbit_s", "custom_s", "speedup_fb"
+    );
     let mut fb_one = None;
     for &nodes in &node_counts {
         let pool = NodePool::new(nodes);
-        let fb = Tracker::new(HistEngine::FastBit).track(explorer.catalog(), &track_sel.ids, &pool)?;
-        let cu = Tracker::new(HistEngine::Custom).track(explorer.catalog(), &track_sel.ids, &pool)?;
+        let fb =
+            Tracker::new(HistEngine::FastBit).track(explorer.catalog(), &track_sel.ids, &pool)?;
+        let cu =
+            Tracker::new(HistEngine::Custom).track(explorer.catalog(), &track_sel.ids, &pool)?;
         let fb_s = fb.elapsed.as_secs_f64();
         if fb_one.is_none() {
             fb_one = Some(fb_s);

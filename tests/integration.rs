@@ -38,9 +38,15 @@ fn end_to_end_generation_storage_and_reopen() {
     for &step in &steps {
         let ds = explorer.catalog().load(step, None, true).unwrap();
         for col in datastore::STANDARD_COLUMNS {
-            assert!(ds.table().column(col).is_some(), "missing column {col} at step {step}");
+            assert!(
+                ds.table().column(col).is_some(),
+                "missing column {col} at step {step}"
+            );
         }
-        assert!(!ds.indexed_columns().is_empty(), "missing indexes at step {step}");
+        assert!(
+            !ds.indexed_columns().is_empty(),
+            "missing indexes at step {step}"
+        );
         assert!(ds.id_index().is_some(), "missing id index at step {step}");
     }
 
@@ -68,9 +74,11 @@ fn indexed_and_scanned_queries_agree_across_the_whole_catalog() {
         let ds = explorer.catalog().load(step, None, true).unwrap();
         for q in &queries {
             let expr = parse_query(q).unwrap();
-            let indexed = fastbit::evaluate_with_strategy(&expr, &ds, fastbit::ExecStrategy::Auto).unwrap();
+            let indexed =
+                fastbit::evaluate_with_strategy(&expr, &ds, fastbit::ExecStrategy::Auto).unwrap();
             let scanned =
-                fastbit::evaluate_with_strategy(&expr, &ds, fastbit::ExecStrategy::ScanOnly).unwrap();
+                fastbit::evaluate_with_strategy(&expr, &ds, fastbit::ExecStrategy::ScanOnly)
+                    .unwrap();
             assert_eq!(
                 indexed.to_rows(),
                 scanned.to_rows(),
@@ -143,8 +151,12 @@ fn rendering_cost_is_driven_by_bins_not_records() {
     // Two renderings of the same data at different bin counts must both
     // produce content; the low-resolution one aggregates into fewer, denser
     // quads.
-    let hi = explorer.render_focus_context(5, &axes, 256, None, 1.0).unwrap();
-    let lo = explorer.render_focus_context(5, &axes, 16, None, 1.0).unwrap();
+    let hi = explorer
+        .render_focus_context(5, &axes, 256, None, 1.0)
+        .unwrap();
+    let lo = explorer
+        .render_focus_context(5, &axes, 16, None, 1.0)
+        .unwrap();
     assert!(hi.coverage(Rgba::BLACK) > 0.01);
     assert!(lo.coverage(Rgba::BLACK) > 0.01);
 
@@ -153,7 +165,14 @@ fn rendering_cost_is_driven_by_bins_not_records() {
     let hists = explorer.axis_histograms(5, &axes, 16, None, false).unwrap();
     for h in &hists {
         assert!(h.non_empty_count() <= 16 * 16);
-        assert_eq!(h.total(), explorer.catalog().load(5, None, false).unwrap().num_particles() as u64);
+        assert_eq!(
+            h.total(),
+            explorer
+                .catalog()
+                .load(5, None, false)
+                .unwrap()
+                .num_particles() as u64
+        );
     }
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -163,7 +182,9 @@ fn index_files_are_smaller_than_data_and_answer_queries_alone() {
     let (explorer, dir) = build_explorer("indexsize", 2000, 4);
     for entry in explorer.catalog().entries() {
         let data = std::fs::metadata(&entry.data_path).unwrap().len();
-        let index = std::fs::metadata(entry.index_path.as_ref().unwrap()).unwrap().len();
+        let index = std::fs::metadata(entry.index_path.as_ref().unwrap())
+            .unwrap()
+            .len();
         // WAH-compressed bitmap indexes stay well below the raw column data
         // (the paper reports roughly 2 GB of index for 5 GB of data).
         assert!(

@@ -38,8 +38,13 @@ fn paper_use_case_sections_a_through_e() {
     // --- IV-A Beam selection: a px threshold at t=37 finds the accelerated
     // particles, and they form two clusters (beams) in x.
     let threshold = lwfa::physics::suggested_beam_threshold(sim, last);
-    let beam = explorer.select(last, &format!("px > {threshold:e}")).unwrap();
-    assert!(beam.ids.len() > 10, "beam selection must find the trapped particles");
+    let beam = explorer
+        .select(last, &format!("px > {threshold:e}"))
+        .unwrap();
+    assert!(
+        beam.ids.len() > 10,
+        "beam selection must find the trapped particles"
+    );
 
     let ds = explorer.catalog().load(last, None, true).unwrap();
     let sel = ds.select_ids(&beam.ids).unwrap();
@@ -48,7 +53,10 @@ fn paper_use_case_sections_a_through_e() {
     let (b2_lo, _b2_hi) = sim.bucket_range(last, 2);
     let in_bucket1 = xs.iter().filter(|&&x| x >= b1_lo && x < b1_hi).count();
     let in_bucket2 = xs.iter().filter(|&&x| x >= b2_lo && x < b1_lo).count();
-    assert!(in_bucket1 > 0 && in_bucket2 > 0, "two separate beams in x (Figure 5c)");
+    assert!(
+        in_bucket1 > 0 && in_bucket2 > 0,
+        "two separate beams in x (Figure 5c)"
+    );
 
     // --- IV-B Beam assessment: the first beam peaks before the end of the
     // run and has lower momentum than the second beam at t=37 (it outran the
@@ -181,7 +189,9 @@ fn paper_use_case_3d_selection_and_tracing() {
     let beam_cut = lwfa::physics::suggested_beam_threshold(&sim, step);
     let (bucket1_lo, _) = sim.bucket_range(step, 1);
     let query = format!("px > {beam_cut:e} && x > {bucket1_lo:e}");
-    let context = explorer.select(step, &format!("px > {background_cut:e}")).unwrap();
+    let context = explorer
+        .select(step, &format!("px > {background_cut:e}"))
+        .unwrap();
     let focus = explorer.select(step, &query).unwrap();
     assert!(!focus.ids.is_empty());
     assert!(focus.ids.len() < context.ids.len());
@@ -193,7 +203,11 @@ fn paper_use_case_3d_selection_and_tracing() {
         .traces
         .iter()
         .filter(|t| {
-            let in_range: Vec<_> = t.points.iter().filter(|p| p.step >= 9 && p.step <= 14).collect();
+            let in_range: Vec<_> = t
+                .points
+                .iter()
+                .filter(|p| p.step >= 9 && p.step <= 14)
+                .collect();
             in_range.len() >= 2 && in_range.last().unwrap().px > in_range.first().unwrap().px
         })
         .count();
@@ -203,6 +217,11 @@ fn paper_use_case_3d_selection_and_tracing() {
     );
     // z and pz are genuinely three-dimensional.
     let ds = explorer.catalog().load(step, None, false).unwrap();
-    assert!(ds.table().float_column("z").unwrap().iter().any(|&z| z != 0.0));
+    assert!(ds
+        .table()
+        .float_column("z")
+        .unwrap()
+        .iter()
+        .any(|&z| z != 0.0));
     std::fs::remove_dir_all(&dir).ok();
 }
