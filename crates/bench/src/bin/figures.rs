@@ -5,19 +5,25 @@
 //! Usage:
 //! ```text
 //! cargo run --release -p vdx-bench --bin figures -- \
-//!     [--particles N] [--timesteps N] [--nodes 1,2,4,8] [--out DIR] [--quick]
+//!     [--particles N] [--timesteps N] [--nodes 1,2,4,8] [--out DIR] \
+//!     [--samples N] [--quick]
 //! ```
 //!
 //! Absolute times depend on the host; the *shapes* (who wins, how the gap
 //! changes with hit count, how the speedup scales with nodes) are the
-//! reproduction targets recorded in EXPERIMENTS.md.
+//! reproduction targets recorded in EXPERIMENTS.md. Besides the CSVs, every
+//! figure also writes a machine-readable `BENCH_*.json` series (op name,
+//! size, median/mean seconds) so the performance trajectory can be compared
+//! across PRs; `--samples` controls how many repetitions feed each
+//! median/mean (default 1 to keep the default run cheap).
 
 use std::path::PathBuf;
 
 use fastbit::{scan, BinSpec, HistEngine, HistogramEngine, QueryExpr, ValueRange};
 use pipeline::{HistogramStage, NodePool, Tracker};
 use vdx_bench::{
-    catalog_workload, id_search_set, serial_dataset, threshold_for_hits, time_it, write_csv,
+    catalog_workload, id_search_set, serial_dataset, threshold_for_hits, time_stats,
+    write_bench_json, write_csv, BenchRecord, TimeStats,
 };
 
 struct Args {
@@ -25,6 +31,17 @@ struct Args {
     timesteps: usize,
     nodes: Vec<usize>,
     out: PathBuf,
+    samples: usize,
+}
+
+/// A [`TimeStats`] for a single externally measured duration (the parallel
+/// stages time themselves internally).
+fn single_sample(secs: f64) -> TimeStats {
+    TimeStats {
+        mean_s: secs,
+        median_s: secs,
+        samples: 1,
+    }
 }
 
 fn parse_args() -> Args {
@@ -47,11 +64,13 @@ fn parse_args() -> Args {
     let out = get("--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("experiments"));
+    let samples = get("--samples").and_then(|v| v.parse().ok()).unwrap_or(1);
     Args {
         particles,
         timesteps,
         nodes,
         out,
+        samples,
     }
 }
 
@@ -84,8 +103,9 @@ fn fig11_unconditional_histograms(args: &Args) {
         "bins", "FastBit-Regular", "FastBit-Adaptive", "Custom-Regular"
     );
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for bins in [32usize, 64, 128, 256, 512, 1024, 2048] {
-        let (_, fb_reg) = time_it(|| {
+        let (_, fb_reg) = time_stats(args.samples, || {
             engine
                 .hist2d(
                     "x",
@@ -97,7 +117,7 @@ fn fig11_unconditional_histograms(args: &Args) {
                 )
                 .unwrap()
         });
-        let (_, fb_ad) = time_it(|| {
+        let (_, fb_ad) = time_stats(args.samples, || {
             engine
                 .hist2d(
                     "x",
@@ -109,7 +129,7 @@ fn fig11_unconditional_histograms(args: &Args) {
                 )
                 .unwrap()
         });
-        let (_, cu_reg) = time_it(|| {
+        let (_, cu_reg) = time_stats(args.samples, || {
             engine
                 .hist2d(
                     "x",
@@ -124,11 +144,32 @@ fn fig11_unconditional_histograms(args: &Args) {
         println!(
             "{:>10} {:>16.4} {:>16.4} {:>16.4}",
             bins * bins,
-            fb_reg,
-            fb_ad,
-            cu_reg
+            fb_reg.median_s,
+            fb_ad.median_s,
+            cu_reg.median_s
         );
-        rows.push(format!("{},{fb_reg},{fb_ad},{cu_reg}", bins * bins));
+        rows.push(format!(
+            "{},{},{},{}",
+            bins * bins,
+            fb_reg.median_s,
+            fb_ad.median_s,
+            cu_reg.median_s
+        ));
+        records.push(BenchRecord::new(
+            "fig11_fastbit_regular",
+            bins * bins,
+            fb_reg,
+        ));
+        records.push(BenchRecord::new(
+            "fig11_fastbit_adaptive",
+            bins * bins,
+            fb_ad,
+        ));
+        records.push(BenchRecord::new(
+            "fig11_custom_regular",
+            bins * bins,
+            cu_reg,
+        ));
     }
     write_csv(
         &args.out,
@@ -137,6 +178,7 @@ fn fig11_unconditional_histograms(args: &Args) {
         &rows,
     )
     .unwrap();
+    write_bench_json(&args.out, "BENCH_fig11_unconditional_hist.json", &records).unwrap();
 }
 
 /// Figure 12: serial conditional 2D histogram time vs number of hits
@@ -151,6 +193,7 @@ fn fig12_conditional_histograms(args: &Args) {
         "hits", "FastBit-Regular", "FastBit-Adaptive", "Custom-Regular"
     );
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut target = 10usize;
     while target < args.particles {
         let threshold = threshold_for_hits(&dataset, target);
@@ -158,8 +201,8 @@ fn fig12_conditional_histograms(args: &Args) {
         let hits = engine
             .evaluate_condition(&cond, HistEngine::FastBit)
             .unwrap()
-            .count();
-        let (_, fb_reg) = time_it(|| {
+            .count() as usize;
+        let (_, fb_reg) = time_stats(args.samples, || {
             engine
                 .hist2d(
                     "x",
@@ -171,7 +214,7 @@ fn fig12_conditional_histograms(args: &Args) {
                 )
                 .unwrap()
         });
-        let (_, fb_ad) = time_it(|| {
+        let (_, fb_ad) = time_stats(args.samples, || {
             engine
                 .hist2d(
                     "x",
@@ -183,7 +226,7 @@ fn fig12_conditional_histograms(args: &Args) {
                 )
                 .unwrap()
         });
-        let (_, cu_reg) = time_it(|| {
+        let (_, cu_reg) = time_stats(args.samples, || {
             engine
                 .hist2d(
                     "x",
@@ -197,9 +240,15 @@ fn fig12_conditional_histograms(args: &Args) {
         });
         println!(
             "{:>12} {:>16.4} {:>16.4} {:>16.4}",
-            hits, fb_reg, fb_ad, cu_reg
+            hits, fb_reg.median_s, fb_ad.median_s, cu_reg.median_s
         );
-        rows.push(format!("{hits},{fb_reg},{fb_ad},{cu_reg}"));
+        rows.push(format!(
+            "{hits},{},{},{}",
+            fb_reg.median_s, fb_ad.median_s, cu_reg.median_s
+        ));
+        records.push(BenchRecord::new("fig12_fastbit_regular", hits, fb_reg));
+        records.push(BenchRecord::new("fig12_fastbit_adaptive", hits, fb_ad));
+        records.push(BenchRecord::new("fig12_custom_regular", hits, cu_reg));
         target *= 10;
     }
     write_csv(
@@ -209,6 +258,7 @@ fn fig12_conditional_histograms(args: &Args) {
         &rows,
     )
     .unwrap();
+    write_bench_json(&args.out, "BENCH_fig12_conditional_hist.json", &records).unwrap();
 }
 
 /// Figure 13: serial identifier-query time vs number of identifiers.
@@ -221,20 +271,23 @@ fn fig13_id_queries(args: &Args) {
         "identifiers", "FastBit", "Custom", "ratio"
     );
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut count = 10usize;
     while count < args.particles {
         let search = id_search_set(&dataset, count);
-        let (fb_sel, fb_s) = time_it(|| dataset.id_index().unwrap().select(&search));
-        let (cu_sel, cu_s) = time_it(|| scan::scan_id_search(ids_column, &search));
+        let (fb_sel, fb) = time_stats(args.samples, || dataset.id_index().unwrap().select(&search));
+        let (cu_sel, cu) = time_stats(args.samples, || scan::scan_id_search(ids_column, &search));
         assert_eq!(fb_sel.count(), cu_sel.count());
         println!(
             "{:>12} {:>14.6} {:>14.6} {:>10.1}",
             search.len(),
-            fb_s,
-            cu_s,
-            cu_s / fb_s.max(1e-9)
+            fb.median_s,
+            cu.median_s,
+            cu.median_s / fb.median_s.max(1e-9)
         );
-        rows.push(format!("{},{fb_s},{cu_s}", search.len()));
+        rows.push(format!("{},{},{}", search.len(), fb.median_s, cu.median_s));
+        records.push(BenchRecord::new("fig13_fastbit", search.len(), fb));
+        records.push(BenchRecord::new("fig13_custom", search.len(), cu));
         count *= 10;
     }
     write_csv(
@@ -244,6 +297,7 @@ fn fig13_id_queries(args: &Args) {
         &rows,
     )
     .unwrap();
+    write_bench_json(&args.out, "BENCH_fig13_id_query.json", &records).unwrap();
 }
 
 /// Figures 14 and 15: parallel histogram computation times and speedups.
@@ -285,8 +339,15 @@ fn fig14_15_parallel_histograms(args: &Args) {
         "nodes", "FastBit-uncond", "Custom-uncond", "FastBit-cond", "Custom-cond"
     );
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut baselines: Option<[f64; 4]> = None;
     let mut speedups = Vec::new();
+    const FIG14_OPS: [&str; 4] = [
+        "fig14_fastbit_uncond",
+        "fig14_custom_uncond",
+        "fig14_fastbit_cond",
+        "fig14_custom_cond",
+    ];
     for &nodes in &args.nodes {
         let pool = NodePool::new(nodes);
         let mut row = [0.0f64; 4];
@@ -305,6 +366,7 @@ fn fig14_15_parallel_histograms(args: &Args) {
             }
             let out = stage.run(&catalog, &pool).unwrap();
             row[i] = out.elapsed.as_secs_f64();
+            records.push(BenchRecord::new(FIG14_OPS[i], nodes, single_sample(row[i])));
         }
         println!(
             "{:>6} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
@@ -337,6 +399,7 @@ fn fig14_15_parallel_histograms(args: &Args) {
         &speedups,
     )
     .unwrap();
+    write_bench_json(&args.out, "BENCH_fig14_parallel_hist.json", &records).unwrap();
     println!("   (Figure 15 = the same runs expressed as speedup vs 1 node; see CSV)");
 }
 
@@ -364,6 +427,7 @@ fn fig16_17_parallel_tracking(args: &Args) {
         "nodes", "FastBit_s", "Custom_s", "fb_speedup", "cu_speedup"
     );
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     let mut speedup_rows = Vec::new();
     let mut base: Option<(f64, f64)> = None;
     for &nodes in &args.nodes {
@@ -376,6 +440,12 @@ fn fig16_17_parallel_tracking(args: &Args) {
             .unwrap();
         assert_eq!(fb.total_hits(), cu.total_hits());
         let (fb_s, cu_s) = (fb.elapsed.as_secs_f64(), cu.elapsed.as_secs_f64());
+        records.push(BenchRecord::new(
+            "fig16_fastbit",
+            nodes,
+            single_sample(fb_s),
+        ));
+        records.push(BenchRecord::new("fig16_custom", nodes, single_sample(cu_s)));
         let b = *base.get_or_insert((fb_s, cu_s));
         println!(
             "{:>6} {:>14.3} {:>14.3} {:>12.2} {:>12.2}",
@@ -402,4 +472,5 @@ fn fig16_17_parallel_tracking(args: &Args) {
         &speedup_rows,
     )
     .unwrap();
+    write_bench_json(&args.out, "BENCH_fig16_parallel_tracking.json", &records).unwrap();
 }

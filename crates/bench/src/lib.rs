@@ -90,6 +90,98 @@ pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (value, start.elapsed().as_secs_f64())
 }
 
+/// Wall-clock summary of repeated runs of one measured operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeStats {
+    /// Arithmetic mean of the sample times, in seconds.
+    pub mean_s: f64,
+    /// Median of the sample times, in seconds.
+    pub median_s: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Run `f` `samples` times (at least once) and summarize the wall-clock
+/// distribution. Returns the value of the last run alongside the stats so
+/// callers can keep using the result like with [`time_it`].
+pub fn time_stats<T>(samples: usize, mut f: impl FnMut() -> T) -> (T, TimeStats) {
+    let samples = samples.max(1);
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let (value, secs) = time_it(&mut f);
+        times.push(secs);
+        last = Some(value);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median_s = if times.len() % 2 == 1 {
+        times[times.len() / 2]
+    } else {
+        (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
+    };
+    let mean_s = times.iter().sum::<f64>() / times.len() as f64;
+    (
+        last.expect("at least one sample"),
+        TimeStats {
+            mean_s,
+            median_s,
+            samples,
+        },
+    )
+}
+
+/// One machine-readable benchmark record: which operation was measured, its
+/// size parameter (bins, hits, identifiers, nodes, …) and the wall-clock
+/// summary. Serialized into the `BENCH_*.json` files that track the
+/// performance trajectory across PRs.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Operation name, e.g. `fig11_fastbit_regular`.
+    pub op: String,
+    /// The figure's x-axis value for this measurement.
+    pub n: usize,
+    /// Timing summary.
+    pub stats: TimeStats,
+}
+
+impl BenchRecord {
+    /// Build a record from an operation name, size and stats.
+    pub fn new(op: impl Into<String>, n: usize, stats: TimeStats) -> Self {
+        Self {
+            op: op.into(),
+            n,
+            stats,
+        }
+    }
+}
+
+/// Write `records` as a JSON array to `dir/name` (hand-rolled — the
+/// container has no serde). Floats use Rust's shortest-roundtrip `Display`,
+/// so the files are stable across runs of identical measurements.
+pub fn write_bench_json(
+    dir: &std::path::Path,
+    name: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let op = r.op.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"op\": \"{op}\", \"n\": {}, \"median_s\": {}, \"mean_s\": {}, \"samples\": {}}}{}\n",
+            r.n,
+            r.stats.median_s,
+            r.stats.mean_s,
+            r.stats.samples,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
 /// Write a simple CSV file (header plus rows) under `dir`.
 pub fn write_csv(
     dir: &std::path::Path,
@@ -113,6 +205,55 @@ pub fn write_csv(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_stats_summarizes_samples() {
+        let mut calls = 0;
+        let (value, stats) = time_stats(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(value, 5);
+        assert_eq!(stats.samples, 5);
+        assert!(stats.mean_s >= 0.0 && stats.median_s >= 0.0);
+        // Zero samples is clamped to one.
+        let (_, stats) = time_stats(0, || ());
+        assert_eq!(stats.samples, 1);
+    }
+
+    #[test]
+    fn bench_json_is_written_and_parseable_shape() {
+        let dir = std::env::temp_dir().join(format!("vdx_bench_json_{}", std::process::id()));
+        let records = vec![
+            BenchRecord::new(
+                "fig11_fastbit_regular",
+                1024,
+                TimeStats {
+                    mean_s: 0.5,
+                    median_s: 0.25,
+                    samples: 3,
+                },
+            ),
+            BenchRecord::new(
+                "fig11_custom_regular",
+                2048,
+                TimeStats {
+                    mean_s: 1.0,
+                    median_s: 1.0,
+                    samples: 1,
+                },
+            ),
+        ];
+        let path = write_bench_json(&dir, "BENCH_test.json", &records).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("[\n"));
+        assert!(body.trim_end().ends_with(']'));
+        assert!(body.contains("\"op\": \"fig11_fastbit_regular\""));
+        assert!(body.contains("\"n\": 1024"));
+        assert!(body.contains("\"median_s\": 0.25"));
+        assert_eq!(body.matches('{').count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn serial_dataset_has_indexes_and_beams() {

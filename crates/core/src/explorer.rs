@@ -1,8 +1,9 @@
 //! The [`DataExplorer`] facade.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use datastore::Catalog;
+use datastore::{Catalog, Dataset, DatasetCache};
 use fastbit::{parse_query, BinSpec, HistEngine, QueryExpr};
 use histogram::{Binning, Hist2D};
 use lwfa::{SimConfig, Simulation};
@@ -50,17 +51,25 @@ pub struct BeamSelection {
 }
 
 /// The top-level exploration session over one timestep catalog.
+///
+/// The catalog is held behind an [`Arc`] so one catalog (and optionally one
+/// [`DatasetCache`]) can be shared by many explorers — e.g. one per server
+/// worker thread — without cloning the entry table. `DataExplorer` is
+/// `Send + Sync`; see the `shared_catalog_is_send_sync` test.
 #[derive(Debug)]
 pub struct DataExplorer {
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     config: ExplorerConfig,
+    /// When set, timestep loads go through this shared cache (full column
+    /// set + indexes) instead of re-reading files per call.
+    cache: Option<Arc<DatasetCache>>,
 }
 
 impl DataExplorer {
     /// Open an existing catalog directory.
     pub fn open(dir: impl Into<PathBuf>, config: ExplorerConfig) -> Result<Self> {
         let catalog = Catalog::open(dir)?;
-        Ok(Self { catalog, config })
+        Ok(Self::from_catalog(Arc::new(catalog), config))
     }
 
     /// Generate a synthetic LWFA dataset into `dir` (running the one-time
@@ -73,12 +82,51 @@ impl DataExplorer {
         let dir = dir.into();
         let mut catalog = Catalog::create(&dir)?;
         Simulation::new(sim).run_to_catalog(&mut catalog, Some(&config.index_binning))?;
-        Ok(Self { catalog, config })
+        Ok(Self::from_catalog(Arc::new(catalog), config))
+    }
+
+    /// Build an explorer over an already opened, shared catalog.
+    pub fn from_catalog(catalog: Arc<Catalog>, config: ExplorerConfig) -> Self {
+        Self {
+            catalog,
+            config,
+            cache: None,
+        }
+    }
+
+    /// Route this explorer's timestep loads through a shared dataset cache.
+    pub fn with_dataset_cache(mut self, cache: Arc<DatasetCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The underlying catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// A shareable handle to the underlying catalog.
+    pub fn catalog_arc(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog)
+    }
+
+    /// Load one timestep, consulting the shared cache when configured. The
+    /// cache always holds the full column set with indexes (a superset of
+    /// any projection), so cached loads ignore `projection`.
+    fn load_step(
+        &self,
+        step: usize,
+        projection: Option<&[&str]>,
+        with_indexes: bool,
+    ) -> Result<Arc<Dataset>> {
+        match &self.cache {
+            Some(cache) => Ok(cache.get_or_load(&self.catalog, step)?),
+            None => Ok(Arc::new(self.catalog.load(
+                step,
+                projection,
+                with_indexes,
+            )?)),
+        }
     }
 
     /// The configuration in use.
@@ -97,11 +145,28 @@ impl DataExplorer {
             .with_engine(self.config.engine)
     }
 
+    /// The query execution strategy matching the configured engine: cached
+    /// datasets always carry their indexes, so the Custom engine must force
+    /// scans explicitly to keep its baseline semantics.
+    fn strategy(&self) -> fastbit::ExecStrategy {
+        match self.config.engine {
+            HistEngine::FastBit => fastbit::ExecStrategy::Auto,
+            HistEngine::Custom => fastbit::ExecStrategy::ScanOnly,
+        }
+    }
+
     /// Select particles at `step` with a textual query such as
     /// `"px > 8.872e10"` and return their identifiers.
     pub fn select(&self, step: usize, query: &str) -> Result<BeamSelection> {
         let expr = parse_query(query)?;
-        let (ids, _) = self.analyzer().select(step, &expr)?;
+        let ids = match &self.cache {
+            Some(_) => {
+                let dataset = self.load_step(step, None, true)?;
+                let selection = fastbit::evaluate_with_strategy(&expr, &*dataset, self.strategy())?;
+                dataset.ids_of(&selection)?
+            }
+            None => self.analyzer().select(step, &expr)?.0,
+        };
         Ok(BeamSelection {
             step,
             query: expr,
@@ -118,7 +183,7 @@ impl DataExplorer {
         query: &str,
     ) -> Result<BeamSelection> {
         let expr = parse_query(query)?;
-        let ids = self.analyzer().refine(step, &selection.ids, &expr)?;
+        let ids = self.refine_ids(step, &selection.ids, &expr)?;
         Ok(BeamSelection {
             step,
             query: selection.query.clone().and(expr),
@@ -126,9 +191,58 @@ impl DataExplorer {
         })
     }
 
-    /// Trace a particle set across every timestep.
+    /// The refinement primitive behind [`DataExplorer::refine`]: the subset
+    /// of `ids` that also satisfies `expr` at `step`. Exposed for callers
+    /// (like the server) that track id sets without a [`BeamSelection`].
+    pub fn refine_ids(&self, step: usize, ids: &[u64], expr: &QueryExpr) -> Result<Vec<u64>> {
+        match &self.cache {
+            Some(_) => {
+                let dataset = self.load_step(step, None, true)?;
+                let by_id = dataset.select_ids(ids)?;
+                let by_query = fastbit::evaluate_with_strategy(expr, &*dataset, self.strategy())?;
+                Ok(dataset.ids_of(&by_id.and(&by_query)?)?)
+            }
+            None => Ok(self.analyzer().refine(step, ids, expr)?),
+        }
+    }
+
+    /// Trace a particle set across every timestep. With a shared cache
+    /// attached, every timestep is served from (and admitted to) the cache
+    /// instead of re-reading files per request.
     pub fn track(&self, ids: &[u64]) -> Result<TrackingOutput> {
-        Ok(self.analyzer().track(ids)?)
+        match &self.cache {
+            Some(cache) => {
+                let steps = self.catalog.steps();
+                let tracker = pipeline::Tracker::new(self.config.engine);
+                Ok(tracker.track_with(
+                    &steps,
+                    |step| Ok(cache.get_or_load(&self.catalog, step)?),
+                    ids,
+                    &NodePool::new(self.config.nodes),
+                )?)
+            }
+            None => Ok(self.analyzer().track(ids)?),
+        }
+    }
+
+    /// Compute a 1D histogram of `column` at `step` with `bins` uniform
+    /// bins, optionally restricted by a `condition` query — the drill-down
+    /// primitive the server exposes as its `HIST` operation.
+    pub fn histogram1d(
+        &self,
+        step: usize,
+        column: &str,
+        bins: usize,
+        condition: Option<&str>,
+    ) -> Result<histogram::Hist1D> {
+        let condition = condition.map(parse_query).transpose()?;
+        let dataset = self.load_step(step, None, self.config.engine == HistEngine::FastBit)?;
+        Ok(dataset.hist_engine().hist1d(
+            column,
+            &BinSpec::Uniform(bins),
+            condition.as_ref(),
+            self.config.engine,
+        )?)
     }
 
     /// Compute the 2D histograms between adjacent axes of `axes` at `step`,
@@ -145,9 +259,7 @@ impl DataExplorer {
             return Err(VdxError::Invalid("need at least two axes".into()));
         }
         let condition = condition.map(parse_query).transpose()?;
-        let dataset = self
-            .catalog
-            .load(step, None, self.config.engine == HistEngine::FastBit)?;
+        let dataset = self.load_step(step, None, self.config.engine == HistEngine::FastBit)?;
         let engine = dataset.hist_engine();
         let selection = condition
             .as_ref()
@@ -180,7 +292,7 @@ impl DataExplorer {
         axes: &[&str],
         plot: PlotConfig,
     ) -> Result<ParallelCoordsPlot> {
-        let dataset = self.catalog.load(step, Some(axes), false)?;
+        let dataset = self.load_step(step, Some(axes), false)?;
         let specs: Vec<AxisSpec> = axes
             .iter()
             .map(|&name| {
@@ -249,11 +361,15 @@ impl DataExplorer {
         condition: Option<&str>,
     ) -> Result<Framebuffer> {
         let plot = self.plot_for(step, axes, PlotConfig::default())?;
-        let dataset = self
-            .catalog
-            .load(step, None, self.config.engine == HistEngine::FastBit)?;
+        let dataset = self.load_step(step, None, self.config.engine == HistEngine::FastBit)?;
+        // Evaluate with the engine's strategy (not Auto): a cached dataset
+        // always carries indexes, and the Custom baseline must keep scanning.
         let selection = match condition {
-            Some(q) => Some(dataset.query(&parse_query(q)?)?),
+            Some(q) => Some(fastbit::evaluate_with_strategy(
+                &parse_query(q)?,
+                &*dataset,
+                self.strategy(),
+            )?),
             None => None,
         };
         let columns: Vec<Vec<f64>> = axes
@@ -346,6 +462,49 @@ mod tests {
             .render_temporal(&beam.ids, &steps, &["x", "px", "y"], 32, 0.9)
             .unwrap();
         assert!(image.coverage(Rgba::BLACK) > 0.001);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_catalog_is_send_sync() {
+        // The compile-time audit behind the server: one catalog/cache/
+        // explorer must be shareable across worker threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Catalog>();
+        assert_send_sync::<datastore::Dataset>();
+        assert_send_sync::<datastore::DatasetCache>();
+        assert_send_sync::<DataExplorer>();
+    }
+
+    #[test]
+    fn explorers_share_one_catalog_and_cache() {
+        let (explorer, dir) = small_explorer("shared");
+        let cache = Arc::new(DatasetCache::new(datastore::DatasetCacheConfig::default()));
+        let catalog = explorer.catalog_arc();
+        let baseline = explorer.select(17, "px > 1.5e10").unwrap();
+
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let catalog = Arc::clone(&catalog);
+                let cache = Arc::clone(&cache);
+                let expected = baseline.ids.clone();
+                scope.spawn(move || {
+                    let shared = DataExplorer::from_catalog(catalog, ExplorerConfig::default())
+                        .with_dataset_cache(cache);
+                    let beam = shared.select(17, "px > 1.5e10").unwrap();
+                    assert_eq!(beam.ids, expected);
+                    // Rendering goes through the shared cache too.
+                    let hists = shared
+                        .axis_histograms(15, &["x", "px"], 16, None, false)
+                        .unwrap();
+                    assert_eq!(hists.len(), 1);
+                });
+            }
+        });
+        // The four workers' histogram loads hit the cache after the first.
+        let stats = cache.stats();
+        assert!(stats.hits + stats.misses > 0);
+        assert!(stats.hits > 0, "repeated loads served from cache");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -106,6 +106,15 @@ impl Dataset {
         self.indexes.values().map(BitmapIndex::size_in_bytes).sum()
     }
 
+    /// Approximate resident memory footprint of the dataset: raw column
+    /// bytes plus every attached bitmap and identifier index. This is the
+    /// accounting unit of the [`crate::DatasetCache`] byte budget.
+    pub fn resident_size_bytes(&self) -> usize {
+        self.table.byte_len()
+            + self.index_size_bytes()
+            + self.id_index.as_ref().map_or(0, IdIndex::size_in_bytes)
+    }
+
     /// Evaluate a compound Boolean range query, using indexes when available.
     pub fn query(&self, expr: &QueryExpr) -> Result<Selection> {
         evaluate_query(expr, self).map_err(DataStoreError::from)

@@ -17,9 +17,13 @@
 //! * [`dataset::Dataset`] — the FastQuery-style facade: it implements
 //!   [`fastbit::ColumnProvider`] and offers query evaluation, conditional
 //!   histograms and ID selection over one timestep.
+//! * [`cache::DatasetCache`] — a sharded, byte-budgeted LRU cache of loaded
+//!   datasets (columns plus indexes) shared as `Arc<Dataset>` across server
+//!   workers, so repeated queries against hot timesteps never touch disk.
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod catalog;
 pub mod column;
 pub mod dataset;
@@ -27,6 +31,7 @@ pub mod error;
 pub mod format;
 pub mod table;
 
+pub use cache::{DatasetCache, DatasetCacheConfig, DatasetCacheStats};
 pub use catalog::{Catalog, TimestepEntry};
 pub use column::{Column, ColumnData};
 pub use dataset::Dataset;

@@ -229,6 +229,56 @@ impl QueryExpr {
         QueryExpr::Not(Box::new(self))
     }
 
+    /// A canonical form of the expression suitable for cache keying:
+    /// nested `And(And(..))` / `Or(Or(..))` chains are flattened, double
+    /// negation is collapsed, single-child conjunctions/disjunctions are
+    /// unwrapped, and sibling sub-expressions are sorted by their textual
+    /// form so that `a && b` and `b && a` normalize identically.
+    ///
+    /// Normalization only applies transformations that preserve the exact
+    /// row set the expression selects.
+    pub fn normalized(&self) -> QueryExpr {
+        fn flatten_into(kind_and: bool, e: QueryExpr, out: &mut Vec<QueryExpr>) {
+            match (kind_and, e) {
+                (true, QueryExpr::And(v)) | (false, QueryExpr::Or(v)) => out.extend(v),
+                (_, other) => out.push(other),
+            }
+        }
+        match self {
+            QueryExpr::Pred(p) => QueryExpr::Pred(p.clone()),
+            QueryExpr::And(v) | QueryExpr::Or(v) => {
+                let is_and = matches!(self, QueryExpr::And(_));
+                let mut flat = Vec::with_capacity(v.len());
+                for e in v {
+                    flatten_into(is_and, e.normalized(), &mut flat);
+                }
+                if flat.len() == 1 {
+                    return flat.pop().expect("one element");
+                }
+                flat.sort_by_cached_key(|e| e.to_string());
+                if is_and {
+                    QueryExpr::And(flat)
+                } else {
+                    QueryExpr::Or(flat)
+                }
+            }
+            QueryExpr::Not(e) => match e.normalized() {
+                QueryExpr::Not(inner) => *inner,
+                other => QueryExpr::Not(Box::new(other)),
+            },
+        }
+    }
+
+    /// The canonical textual key of this expression: the [`fmt::Display`]
+    /// form of [`QueryExpr::normalized`]. Two expressions that normalize to
+    /// the same shape share one key, which is what the server's query cache
+    /// keys memoized results on (together with the timestep). The key is
+    /// parseable: `parse_query(&expr.cache_key())` reconstructs the
+    /// normalized expression.
+    pub fn cache_key(&self) -> String {
+        self.normalized().to_string()
+    }
+
     /// The set of columns referenced anywhere in the expression. This is what
     /// the pipeline's contract mechanism pushes upstream so the reader only
     /// touches the columns it truly needs.
@@ -467,6 +517,16 @@ enum Token {
     Not,
     LParen,
     RParen,
+    LBracket,
+    RBracket,
+    Comma,
+}
+
+/// Whether `chars[at..]` spells exactly the keyword `inf` (and not the prefix
+/// of a longer identifier such as `infra`).
+fn signed_infinity_at(chars: &[char], at: usize) -> bool {
+    chars[at..].starts_with(&['i', 'n', 'f'])
+        && !matches!(chars.get(at + 3), Some(c) if c.is_ascii_alphanumeric() || *c == '_')
 }
 
 fn tokenize(input: &str) -> Result<Vec<Token>> {
@@ -483,6 +543,18 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             ')' => {
                 tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
                 i += 1;
             }
             '&' => {
@@ -536,7 +608,22 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                 while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
                     i += 1;
                 }
-                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+                let ident: String = chars[start..i].iter().collect();
+                // `inf` is reserved as the infinity literal of the interval
+                // syntax (`px (-inf , 3]`), not a column name.
+                if ident == "inf" {
+                    tokens.push(Token::Number(f64::INFINITY));
+                } else {
+                    tokens.push(Token::Ident(ident));
+                }
+            }
+            '-' | '+' if signed_infinity_at(&chars, i + 1) => {
+                tokens.push(Token::Number(if c == '-' {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }));
+                i += 4;
             }
             c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
                 let start = i;
@@ -585,24 +672,37 @@ impl Parser {
         t
     }
 
+    // The chain parsers accumulate children explicitly instead of going
+    // through `QueryExpr::or`/`QueryExpr::and`: those constructors flatten
+    // an `And`/`Or` left operand, which would silently merge a parenthesized
+    // sub-expression into its parent chain and break the
+    // `parse(display(expr)) == expr` invariant the query cache relies on
+    // (`((a && b) && c)` must stay structurally distinct from
+    // `(a && b && c)`).
     fn parse_or(&mut self) -> Result<QueryExpr> {
-        let mut expr = self.parse_and()?;
+        let first = self.parse_and()?;
+        if self.peek() != Some(&Token::OrOr) {
+            return Ok(first);
+        }
+        let mut children = vec![first];
         while self.peek() == Some(&Token::OrOr) {
             self.bump();
-            let rhs = self.parse_and()?;
-            expr = expr.or(rhs);
+            children.push(self.parse_and()?);
         }
-        Ok(expr)
+        Ok(QueryExpr::Or(children))
     }
 
     fn parse_and(&mut self) -> Result<QueryExpr> {
-        let mut expr = self.parse_unary()?;
+        let first = self.parse_unary()?;
+        if self.peek() != Some(&Token::AndAnd) {
+            return Ok(first);
+        }
+        let mut children = vec![first];
         while self.peek() == Some(&Token::AndAnd) {
             self.bump();
-            let rhs = self.parse_unary()?;
-            expr = expr.and(rhs);
+            children.push(self.parse_unary()?);
         }
-        Ok(expr)
+        Ok(QueryExpr::And(children))
     }
 
     fn parse_unary(&mut self) -> Result<QueryExpr> {
@@ -623,10 +723,78 @@ impl Parser {
         }
     }
 
+    /// `col [lo , hi)` — the interval form `Display` emits for
+    /// double-bounded ranges. `[`/`]` mean inclusive, `(`/`)` exclusive,
+    /// and `-inf`/`+inf` stand for a missing bound, so every `ValueRange`
+    /// (including `ValueRange::all()`, printed `(-inf, +inf)`) roundtrips.
+    fn parse_interval(&mut self, column: String) -> Result<QueryExpr> {
+        let min_inclusive = match self.bump() {
+            Some(Token::LBracket) => true,
+            Some(Token::LParen) => false,
+            other => {
+                return Err(FastBitError::Parse(format!(
+                    "expected '[' or '(': {other:?}"
+                )))
+            }
+        };
+        let lo = match self.bump() {
+            Some(Token::Number(v)) => v,
+            other => {
+                return Err(FastBitError::Parse(format!(
+                    "expected interval lower bound: {other:?}"
+                )))
+            }
+        };
+        if self.bump() != Some(Token::Comma) {
+            return Err(FastBitError::Parse("expected ',' in interval".into()));
+        }
+        let hi = match self.bump() {
+            Some(Token::Number(v)) => v,
+            other => {
+                return Err(FastBitError::Parse(format!(
+                    "expected interval upper bound: {other:?}"
+                )))
+            }
+        };
+        let max_inclusive = match self.bump() {
+            Some(Token::RBracket) => true,
+            Some(Token::RParen) => false,
+            other => {
+                return Err(FastBitError::Parse(format!(
+                    "expected ']' or ')': {other:?}"
+                )))
+            }
+        };
+        let (min, min_inclusive) = if lo == f64::NEG_INFINITY {
+            (None, false)
+        } else {
+            (Some(lo), min_inclusive)
+        };
+        let (max, max_inclusive) = if hi == f64::INFINITY {
+            (None, false)
+        } else {
+            (Some(hi), max_inclusive)
+        };
+        Ok(QueryExpr::pred(
+            column,
+            ValueRange {
+                min,
+                min_inclusive,
+                max,
+                max_inclusive,
+            },
+        ))
+    }
+
     fn parse_comparison(&mut self) -> Result<QueryExpr> {
         let lhs = self
             .bump()
             .ok_or_else(|| FastBitError::Parse("unexpected end of query".into()))?;
+        if let Token::Ident(column) = &lhs {
+            if matches!(self.peek(), Some(Token::LBracket) | Some(Token::LParen)) {
+                return self.parse_interval(column.clone());
+            }
+        }
         let op = self
             .bump()
             .ok_or_else(|| FastBitError::Parse("expected comparison operator".into()))?;
@@ -842,6 +1010,68 @@ mod tests {
         assert!(parse_query("px ?? 3").is_err());
         assert!(parse_query("px > 1e9 extra").is_err());
         assert!(parse_query("px > abc").is_err());
+    }
+
+    #[test]
+    fn parser_handles_interval_syntax() {
+        assert_eq!(
+            parse_query("px [0 , 1)").unwrap(),
+            QueryExpr::pred("px", ValueRange::between(0.0, 1.0))
+        );
+        assert_eq!(
+            parse_query("px (-inf, +inf)").unwrap(),
+            QueryExpr::pred("px", ValueRange::all())
+        );
+        assert_eq!(
+            parse_query("px [2 , 2]").unwrap(),
+            QueryExpr::pred("px", ValueRange::between_inclusive(2.0, 2.0))
+        );
+        assert_eq!(
+            parse_query("x (-1e-3 , 4.5]").unwrap(),
+            QueryExpr::pred(
+                "x",
+                ValueRange {
+                    min: Some(-1e-3),
+                    min_inclusive: false,
+                    max: Some(4.5),
+                    max_inclusive: true,
+                }
+            )
+        );
+        assert!(parse_query("px [0 ,").is_err());
+        assert!(parse_query("px [0 1)").is_err());
+        assert!(parse_query("px [0 , 1").is_err());
+    }
+
+    #[test]
+    fn normalization_flattens_sorts_and_collapses() {
+        let e = parse_query("(px > 1 && (y > 2 && z > 3))").unwrap();
+        match e.normalized() {
+            QueryExpr::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+        let a = parse_query("px > 1 || y > 2").unwrap();
+        let b = parse_query("y > 2 || px > 1").unwrap();
+        assert_eq!(a.cache_key(), b.cache_key());
+        let nn = parse_query("!(!(px > 1))").unwrap();
+        assert_eq!(nn.normalized(), parse_query("px > 1").unwrap());
+    }
+
+    #[test]
+    fn every_value_range_display_form_parses_back() {
+        for range in [
+            ValueRange::all(),
+            ValueRange::gt(1.5),
+            ValueRange::ge(-2.0),
+            ValueRange::lt(1e30),
+            ValueRange::le(0.0),
+            ValueRange::between(-1.0, 1.0),
+            ValueRange::between_inclusive(3.0, 4.0),
+        ] {
+            let expr = QueryExpr::pred("px", range);
+            let text = expr.to_string();
+            assert_eq!(parse_query(&text).unwrap(), expr, "from {text:?}");
+        }
     }
 
     #[test]

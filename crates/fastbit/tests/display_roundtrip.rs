@@ -1,0 +1,155 @@
+//! Differential test of the `Display` ↔ parser roundtrip.
+//!
+//! The server's query cache keys memoized results on the `Display` form of a
+//! normalized [`QueryExpr`], so `parse(display(expr)) == expr` must hold for
+//! every expression the system can build — not only the comparison subset the
+//! parser originally supported. This suite generates seeded random compound
+//! expressions over every `ValueRange` shape (one-sided, half-open, closed,
+//! point, unbounded) and asserts the roundtrip is exact.
+
+use fastbit::{parse_query, QueryExpr, ValueRange};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const COLUMNS: [&str; 6] = ["x", "y", "px", "py", "pz", "xrel"];
+
+fn random_value(rng: &mut StdRng) -> f64 {
+    // Mix of magnitudes, signs and non-round fractions, like real thresholds.
+    let magnitude = 10f64.powi(rng.gen_range(-6i32..12));
+    let v = rng.gen_range(-1.0..1.0) * magnitude;
+    if rng.gen_range(0.0..1.0) < 0.1 {
+        v.trunc()
+    } else {
+        v
+    }
+}
+
+fn random_range(rng: &mut StdRng) -> ValueRange {
+    match rng.gen_range(0u32..8) {
+        0 => ValueRange::gt(random_value(rng)),
+        1 => ValueRange::ge(random_value(rng)),
+        2 => ValueRange::lt(random_value(rng)),
+        3 => ValueRange::le(random_value(rng)),
+        4 => {
+            let a = random_value(rng);
+            let b = random_value(rng);
+            ValueRange::between(a.min(b), a.max(b))
+        }
+        5 => {
+            let a = random_value(rng);
+            let b = random_value(rng);
+            ValueRange::between_inclusive(a.min(b), a.max(b))
+        }
+        6 => {
+            let v = random_value(rng);
+            ValueRange::between_inclusive(v, v) // the `==` form
+        }
+        _ => ValueRange::all(),
+    }
+}
+
+fn random_pred(rng: &mut StdRng) -> QueryExpr {
+    let column = COLUMNS[rng.gen_range(0usize..COLUMNS.len())];
+    QueryExpr::pred(column, random_range(rng))
+}
+
+fn random_expr(rng: &mut StdRng, depth: usize) -> QueryExpr {
+    if depth == 0 || rng.gen_range(0u32..3) == 0 {
+        return random_pred(rng);
+    }
+    match rng.gen_range(0u32..3) {
+        0 => {
+            let n = rng.gen_range(2usize..5);
+            QueryExpr::And((0..n).map(|_| random_expr(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(2usize..5);
+            QueryExpr::Or((0..n).map(|_| random_expr(rng, depth - 1)).collect())
+        }
+        _ => random_expr(rng, depth - 1).not(),
+    }
+}
+
+#[test]
+fn display_parse_roundtrip_on_random_compound_expressions() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..2000 {
+        let expr = random_expr(&mut rng, 4);
+        let text = expr.to_string();
+        let reparsed = parse_query(&text)
+            .unwrap_or_else(|e| panic!("case {case}: failed to parse {text:?}: {e:?}"));
+        assert_eq!(
+            expr, reparsed,
+            "case {case}: display form {text:?} did not roundtrip"
+        );
+    }
+}
+
+#[test]
+fn cache_key_is_stable_and_parseable() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for _ in 0..500 {
+        let expr = random_expr(&mut rng, 3);
+        let key = expr.cache_key();
+        // The key parses back to the normalized expression, so normalization
+        // is idempotent through the textual form.
+        let reparsed = parse_query(&key).expect("cache key parses");
+        assert_eq!(reparsed, expr.normalized());
+        assert_eq!(reparsed.cache_key(), key, "key must be a fixed point");
+    }
+}
+
+#[test]
+fn normalization_is_order_insensitive_and_semantics_preserving() {
+    let a = parse_query("px > 1e9 && y < 0 && !(x >= 2)").unwrap();
+    let b = parse_query("!(x >= 2) && y < 0 && px > 1e9").unwrap();
+    assert_eq!(a.cache_key(), b.cache_key());
+
+    let nested = parse_query("(px > 1 && (y > 2 && z > 3))").unwrap();
+    let flat = parse_query("z > 3 && y > 2 && px > 1").unwrap();
+    assert_eq!(nested.cache_key(), flat.cache_key());
+
+    let double_not = parse_query("!(!(px > 1))").unwrap();
+    assert_eq!(
+        double_not.cache_key(),
+        parse_query("px > 1").unwrap().cache_key()
+    );
+
+    // Normalized expressions still select the same rows.
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..200 {
+        let expr = random_expr(&mut rng, 3);
+        let norm = expr.normalized();
+        let data: Vec<f64> = (0..64).map(|_| random_value(&mut rng)).collect();
+        let provider = SingleColumn { data };
+        for row in 0..provider.data.len() {
+            assert_eq!(
+                expr.matches_row(&provider, row).is_ok(),
+                norm.matches_row(&provider, row).is_ok()
+            );
+            if let (Ok(x), Ok(y)) = (
+                expr.matches_row(&provider, row),
+                norm.matches_row(&provider, row),
+            ) {
+                assert_eq!(x, y);
+            }
+        }
+    }
+}
+
+/// A provider that answers every column name with the same data, so random
+/// column names always resolve.
+struct SingleColumn {
+    data: Vec<f64>,
+}
+
+impl fastbit::ColumnProvider for SingleColumn {
+    fn num_rows(&self) -> usize {
+        self.data.len()
+    }
+    fn column(&self, _name: &str) -> Option<&[f64]> {
+        Some(&self.data)
+    }
+    fn index(&self, _name: &str) -> Option<&fastbit::BitmapIndex> {
+        None
+    }
+}

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use datastore::Catalog;
+use datastore::{Catalog, Dataset};
 use fastbit::HistEngine;
 
 use crate::error::Result;
@@ -115,11 +115,40 @@ impl Tracker {
         cols
     }
 
-    /// Track `ids` across every timestep of `catalog`.
+    /// Track `ids` across every timestep of `catalog`, loading each
+    /// timestep's file (with only the tracked columns) directly from disk.
     pub fn track(&self, catalog: &Catalog, ids: &[u64], pool: &NodePool) -> Result<TrackingOutput> {
         let steps = catalog.steps();
-        let (matches, per_node, elapsed) =
-            pool.run_timed(steps.len(), |i| self.track_one(catalog, steps[i], ids))?;
+        let columns = self.columns_for_load();
+        // The Custom baseline deliberately ignores the identifier index, as
+        // in the paper's comparison.
+        let with_indexes = self.engine == HistEngine::FastBit;
+        self.track_with(
+            &steps,
+            |step| Ok(catalog.load(step, Some(&columns), with_indexes)?),
+            ids,
+            pool,
+        )
+    }
+
+    /// Track `ids` across `steps`, obtaining each timestep's dataset through
+    /// `load` — the hook that lets a serving layer feed resident cached
+    /// datasets (`Arc<Dataset>`) instead of re-reading files per request.
+    pub fn track_with<D, F>(
+        &self,
+        steps: &[usize],
+        load: F,
+        ids: &[u64],
+        pool: &NodePool,
+    ) -> Result<TrackingOutput>
+    where
+        D: std::borrow::Borrow<Dataset> + Send,
+        F: Fn(usize) -> Result<D> + Sync,
+    {
+        let (matches, per_node, elapsed) = pool.run_timed(steps.len(), |i| {
+            let dataset = load(steps[i])?;
+            self.track_one(dataset.borrow(), steps[i], ids)
+        })?;
 
         let mut per_particle: BTreeMap<u64, Vec<TracePoint>> = BTreeMap::new();
         let mut hits_per_step = Vec::with_capacity(matches.len());
@@ -144,12 +173,7 @@ impl Tracker {
         })
     }
 
-    fn track_one(&self, catalog: &Catalog, step: usize, ids: &[u64]) -> Result<StepMatches> {
-        let columns = self.columns_for_load();
-        // The Custom baseline deliberately ignores the identifier index, as
-        // in the paper's comparison.
-        let with_indexes = self.engine == HistEngine::FastBit;
-        let dataset = catalog.load(step, Some(&columns), with_indexes)?;
+    fn track_one(&self, dataset: &Dataset, step: usize, ids: &[u64]) -> Result<StepMatches> {
         let selection = match self.engine {
             HistEngine::FastBit => dataset.select_ids(ids)?,
             HistEngine::Custom => {

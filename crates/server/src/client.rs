@@ -1,0 +1,78 @@
+//! A small blocking client for the line protocol.
+//!
+//! Used by the `vdx-server query` CLI mode, the CI smoke driver and the
+//! integration tests. One request line in, one reply line out.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Send one request line and read the single reply line.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        while reply.ends_with(['\n', '\r']) {
+            reply.pop();
+        }
+        Ok(reply)
+    }
+
+    /// Parse a `STATS` reply into its `key=value` fields.
+    pub fn stats(&mut self) -> std::io::Result<std::collections::HashMap<String, String>> {
+        let reply = self.request("STATS")?;
+        Ok(parse_stats(&reply))
+    }
+}
+
+/// Split an `OK\tSTATS\tk=v\t…` reply into a key → value map (empty map for
+/// non-STATS replies).
+pub fn parse_stats(reply: &str) -> std::collections::HashMap<String, String> {
+    reply
+        .split('\t')
+        .skip(2)
+        .filter_map(|field| {
+            field
+                .split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_replies_parse_into_maps() {
+        let map = parse_stats("OK\tSTATS\tds_hits=4\tqc_misses=2\tselect_p50_us=120");
+        assert_eq!(map["ds_hits"], "4");
+        assert_eq!(map["qc_misses"], "2");
+        assert_eq!(map.len(), 3);
+        assert!(parse_stats("ERR\tnope").is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+//! `vdx-server` — the serving layer over a VDX timestep catalog.
+//!
+//! The paper's workflow is interactive: one analyst, one process, repeated
+//! queries against preprocessed WAH indexes. This crate turns that loop into
+//! a long-lived service so many concurrent clients share one resident copy
+//! of the hot data:
+//!
+//! * [`server::Server`] — a `TcpListener` + worker-thread pool answering a
+//!   line-delimited protocol ([`protocol`]) with select / refine / histogram
+//!   / track / info / stats operations and graceful shutdown.
+//! * [`datastore::DatasetCache`] (layer 1) — sharded, byte-budgeted LRU of
+//!   loaded datasets, so a hot timestep's columns and indexes are read from
+//!   disk once.
+//! * [`query_cache::QueryCache`] (layer 2) — memoized reply payloads keyed
+//!   by `(step, normalized query)` via [`fastbit::QueryExpr::cache_key`], so
+//!   a repeated query shape skips index evaluation entirely.
+//! * [`metrics::ServerMetrics`] — per-op request counts and latency
+//!   quantiles (via [`histogram::Hist1D`]) surfaced through the `STATS`
+//!   verb.
+//! * [`client::Client`] — a blocking client used by the CLI query mode, the
+//!   CI smoke driver and the tests.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod query_cache;
+pub mod server;
+
+pub use client::{parse_stats, Client};
+pub use metrics::{OpMetrics, ServerMetrics};
+pub use protocol::Request;
+pub use query_cache::{QueryCache, QueryCacheStats};
+pub use server::{Server, ServerConfig, ServerHandle, ServerState};

@@ -1,0 +1,313 @@
+//! The `vdx-server` binary: serve a catalog, drive a running server from the
+//! command line, run the CI smoke session, or load-test hot vs cold caches.
+//!
+//! ```text
+//! vdx-server serve --dir DIR [--addr 127.0.0.1:7878] [--workers N]
+//!                  [--cache-mb MB] [--query-cache N] [--nodes N]
+//! vdx-server query --addr HOST:PORT <verb> [field ...]
+//! vdx-server smoke
+//! vdx-server bench [--clients N] [--rounds N] [--particles N] [--timesteps N]
+//! ```
+//!
+//! `query` joins its trailing arguments with tabs, so a shell session looks
+//! like `vdx-server query --addr 127.0.0.1:7878 SELECT 19 "px > 1e10"`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use datastore::{Catalog, DatasetCacheConfig};
+use histogram::Binning;
+use lwfa::{SimConfig, Simulation};
+use vdx_server::{Client, Server, ServerConfig};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn server_config(args: &[String]) -> ServerConfig {
+    let defaults = ServerConfig::default();
+    ServerConfig {
+        workers: parsed_flag(args, "--workers", defaults.workers),
+        nodes: parsed_flag(args, "--nodes", defaults.nodes),
+        dataset_cache: DatasetCacheConfig {
+            max_bytes: parsed_flag(args, "--cache-mb", 256usize) << 20,
+            shards: defaults.dataset_cache.shards,
+        },
+        query_cache_entries: parsed_flag(args, "--query-cache", defaults.query_cache_entries),
+        ..defaults
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str).unwrap_or("help");
+    let result = match mode {
+        "serve" => serve(&args[1..]),
+        "query" => query(&args[1..]),
+        "smoke" => smoke(),
+        "bench" => bench(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: vdx-server <serve|query|smoke|bench> [options]\n\
+                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N]\n\
+                 \x20 query --addr HOST:PORT <verb> [field ...]\n\
+                 \x20 smoke\n\
+                 \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("vdx-server: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let dir = flag(args, "--dir").ok_or("serve requires --dir DIR")?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let catalog = Catalog::open(&dir).map_err(|e| format!("open {dir}: {e}"))?;
+    if catalog.num_timesteps() == 0 {
+        return Err(format!("{dir} holds no timestep files"));
+    }
+    let server = Server::bind(Arc::new(catalog), &addr, server_config(args))
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("vdx-server listening on {} ({dir})", server.local_addr());
+    println!(
+        "stop with: vdx-server query --addr {} SHUTDOWN",
+        server.local_addr()
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").ok_or("query requires --addr HOST:PORT")?;
+    let addr_at = args.iter().position(|a| a == "--addr").expect("present");
+    let request: Vec<String> = args
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != addr_at && i != addr_at + 1)
+        .map(|(_, a)| a.clone())
+        .collect();
+    if request.is_empty() {
+        return Err("query requires a request verb".to_string());
+    }
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = client
+        .request(&request.join("\t"))
+        .map_err(|e| e.to_string())?;
+    println!("{reply}");
+    if reply.starts_with("ERR") {
+        return Err("server returned an error".to_string());
+    }
+    Ok(())
+}
+
+/// Generate a tiny catalog in a temp dir, preprocessing indexes included.
+fn scratch_catalog(
+    tag: &str,
+    particles: usize,
+    timesteps: usize,
+) -> Result<(Arc<Catalog>, SimConfig, std::path::PathBuf), String> {
+    let dir = std::env::temp_dir().join(format!("vdx_server_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).map_err(|e| e.to_string())?;
+    let mut sim = SimConfig::tiny();
+    sim.particles_per_step = particles;
+    sim.num_timesteps = timesteps;
+    Simulation::new(sim.clone())
+        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 32 }))
+        .map_err(|e| e.to_string())?;
+    Ok((Arc::new(catalog), sim, dir))
+}
+
+/// The CI smoke session: boot a server on an ephemeral port against a tiny
+/// catalog, run a scripted select → refine → histogram → track conversation,
+/// assert non-empty OK replies, and shut down through the protocol.
+fn smoke() -> Result<(), String> {
+    let (catalog, sim, dir) = scratch_catalog("smoke", 800, 16)?;
+    let last = *catalog.steps().last().expect("timesteps exist");
+    let threshold = lwfa::physics::suggested_beam_threshold(&sim, last);
+    let server =
+        Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).map_err(|e| e.to_string())?;
+    let (handle, join) = server.spawn();
+    println!("smoke: serving on {}", handle.addr());
+
+    let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
+    let script = [
+        "PING".to_string(),
+        "INFO".to_string(),
+        format!("SELECT\t{last}\tpx > {threshold}"),
+        format!("HIST\t{last}\tpx\t32"),
+        format!("HIST\t{last}\tpx\t32\tpx > {threshold}"),
+    ];
+    let mut selected_ids = String::new();
+    for line in &script {
+        let reply = client.request(line).map_err(|e| e.to_string())?;
+        let shown = line.replace('\t', " ");
+        println!(
+            "smoke: {shown} -> {} bytes: {}",
+            reply.len(),
+            truncate(&reply, 80)
+        );
+        if !reply.starts_with("OK\t") {
+            return Err(format!("request {shown:?} failed: {reply}"));
+        }
+        if line.starts_with("SELECT") {
+            selected_ids = reply.split('\t').nth(3).unwrap_or("").to_string();
+            if selected_ids.is_empty() {
+                return Err("smoke selection matched no particles".to_string());
+            }
+        }
+    }
+    // Refine the selection at an earlier step, then track the refined beam.
+    let refine = format!("REFINE\t{}\t{selected_ids}\ty > -1e9", last - 1);
+    let reply = client.request(&refine).map_err(|e| e.to_string())?;
+    println!("smoke: REFINE -> {}", truncate(&reply, 80));
+    if !reply.starts_with("OK\tREFINE\t") {
+        return Err(format!("refine failed: {reply}"));
+    }
+    let refined_ids = reply.split('\t').nth(3).unwrap_or("").to_string();
+    if refined_ids.is_empty() {
+        return Err("smoke refine matched no particles".to_string());
+    }
+    let reply = client
+        .request(&format!("TRACK\t{refined_ids}"))
+        .map_err(|e| e.to_string())?;
+    println!("smoke: TRACK -> {}", truncate(&reply, 80));
+    if !reply.starts_with("OK\tTRACK\t") {
+        return Err(format!("track failed: {reply}"));
+    }
+    // Repeat the select: must be served from the query cache.
+    let repeat = client
+        .request(&format!("SELECT\t{last}\tpx > {threshold}"))
+        .map_err(|e| e.to_string())?;
+    if !repeat.starts_with("OK\tSELECT\t") {
+        return Err(format!("repeat select failed: {repeat}"));
+    }
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "smoke: caches ds_hits={} qc_hits={} evaluations={}",
+        stats.get("ds_hits").map(String::as_str).unwrap_or("?"),
+        stats.get("qc_hits").map(String::as_str).unwrap_or("?"),
+        stats.get("evaluations").map(String::as_str).unwrap_or("?"),
+    );
+    if stats
+        .get("qc_hits")
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+        == 0
+    {
+        return Err("repeated select did not hit the query cache".to_string());
+    }
+
+    // Shut down through the protocol and verify the run loop drains cleanly.
+    let bye = client.request("SHUTDOWN").map_err(|e| e.to_string())?;
+    if bye != "OK\tBYE" {
+        return Err(format!("shutdown handshake failed: {bye}"));
+    }
+    drop(client);
+    join.join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    println!("smoke: clean shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+/// Load generator: replay a mixed select/histogram workload from N client
+/// threads, twice — the first pass is cold (empty caches), the second hot —
+/// and report queries/sec for both.
+fn bench(args: &[String]) -> Result<(), String> {
+    let clients = parsed_flag(args, "--clients", 8usize).max(1);
+    let rounds = parsed_flag(args, "--rounds", 20usize).max(1);
+    let particles = parsed_flag(args, "--particles", 20_000usize);
+    let timesteps = parsed_flag(args, "--timesteps", 8usize).max(2);
+    let (catalog, _sim, dir) = scratch_catalog("bench", particles, timesteps)?;
+    let steps = catalog.steps();
+    let server =
+        Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+    let (_handle, join) = server.spawn();
+
+    // A repeating mixed workload over every step and a few thresholds.
+    let mut workload = Vec::new();
+    for round in 0..rounds {
+        let step = steps[round % steps.len()];
+        let threshold = 1e9 * (1 + round % 5) as f64;
+        workload.push(format!("SELECT\t{step}\tpx > {threshold}"));
+        workload.push(format!("HIST\t{step}\tpx\t64"));
+        workload.push(format!("HIST\t{step}\tx\t64\tpx > {threshold}"));
+    }
+
+    let run_pass = |label: &str| -> Result<f64, String> {
+        let started = Instant::now();
+        std::thread::scope(|scope| -> Result<(), String> {
+            let mut joins = Vec::new();
+            for _ in 0..clients {
+                let workload = &workload;
+                joins.push(scope.spawn(move || -> Result<(), String> {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    for line in workload {
+                        let reply = client.request(line).map_err(|e| e.to_string())?;
+                        if !reply.starts_with("OK\t") {
+                            return Err(format!("{line}: {reply}"));
+                        }
+                    }
+                    Ok(())
+                }));
+            }
+            for j in joins {
+                j.join().map_err(|_| "client panicked".to_string())??;
+            }
+            Ok(())
+        })?;
+        let elapsed = started.elapsed().as_secs_f64();
+        let qps = (clients * workload.len()) as f64 / elapsed;
+        println!(
+            "bench: {label:>4} pass: {} requests in {elapsed:.3}s -> {qps:.0} req/s",
+            clients * workload.len()
+        );
+        Ok(qps)
+    };
+
+    let cold = run_pass("cold")?;
+    let hot = run_pass("hot")?;
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "bench: hot/cold speedup {:.2}x; ds_hits={} ds_misses={} qc_hits={} evaluations={}",
+        hot / cold.max(1e-9),
+        stats.get("ds_hits").map(String::as_str).unwrap_or("?"),
+        stats.get("ds_misses").map(String::as_str).unwrap_or("?"),
+        stats.get("qc_hits").map(String::as_str).unwrap_or("?"),
+        stats.get("evaluations").map(String::as_str).unwrap_or("?"),
+    );
+    client.request("SHUTDOWN").map_err(|e| e.to_string())?;
+    drop(client);
+    join.join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| e.to_string())?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n])
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-operation server metrics: request counts, error counts and latency
+//! quantiles.
+//!
+//! Latencies are recorded into a [`Hist1D`] over `log10(microseconds)` —
+//! 140 bins spanning 1 µs to 10 s, i.e. 20 bins per decade — so quantile
+//! estimates stay within ~12% relative error at any magnitude without
+//! keeping raw samples. This reuses the workspace's own histogram machinery
+//! rather than a dedicated HDR implementation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use histogram::{BinEdges, Hist1D};
+use parking_lot::Mutex;
+
+/// Log10-micros histogram range: 10^0 µs .. 10^7 µs (= 10 s).
+const LOG_LO: f64 = 0.0;
+const LOG_HI: f64 = 7.0;
+const LOG_BINS: usize = 140;
+
+/// Counters and a latency histogram for one operation type.
+#[derive(Debug)]
+pub struct OpMetrics {
+    count: AtomicU64,
+    errors: AtomicU64,
+    latency: Mutex<Hist1D>,
+}
+
+impl Default for OpMetrics {
+    fn default() -> Self {
+        let edges = BinEdges::uniform(LOG_LO, LOG_HI, LOG_BINS).expect("static edges");
+        Self {
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency: Mutex::new(Hist1D::new(edges)),
+        }
+    }
+}
+
+impl OpMetrics {
+    /// Record one successful request and its wall-clock duration.
+    pub fn record(&self, elapsed: Duration) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let micros = elapsed.as_secs_f64() * 1e6;
+        self.latency.lock().push(micros.max(1.0).log10());
+    }
+
+    /// Record one failed request (no latency sample).
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of successful requests.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed requests.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Approximate latency quantile in microseconds (`q` in `[0, 1]`).
+    /// Returns 0 when nothing has been recorded.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let hist = self.latency.lock();
+        let total = hist.total() + hist.out_of_range();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in hist.counts().iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                // Bin centre in log space, mapped back to micros.
+                let (lo, hi) = hist.edges().bin_range(i);
+                return 10f64.powf((lo + hi) / 2.0);
+            }
+        }
+        // Only out-of-range (>10 s) samples remain.
+        10f64.powf(LOG_HI)
+    }
+}
+
+/// All server metrics: one [`OpMetrics`] per protocol operation plus the
+/// index-evaluation counter the query cache is measured against.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// SELECT metrics.
+    pub select: OpMetrics,
+    /// REFINE metrics.
+    pub refine: OpMetrics,
+    /// HIST metrics.
+    pub hist: OpMetrics,
+    /// TRACK metrics.
+    pub track: OpMetrics,
+    /// INFO/PING/STATS (metadata) metrics.
+    pub meta: OpMetrics,
+    /// Number of times a request actually evaluated a query against a
+    /// dataset (index or scan). A query-cache hit answers without touching
+    /// this counter — the integration tests assert exactly that.
+    pub evaluations: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Note one real query evaluation (cache miss path).
+    pub fn note_evaluation(&self) {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total query evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+
+    /// Append this op's stats as `<name>_count=…`, `<name>_p50_us=…`,
+    /// `<name>_p99_us=…` fields.
+    pub fn append_op_fields(out: &mut Vec<String>, name: &str, op: &OpMetrics) {
+        out.push(format!("{name}_count={}", op.count()));
+        out.push(format!("{name}_errors={}", op.errors()));
+        out.push(format!("{name}_p50_us={:.0}", op.quantile_us(0.5)));
+        out.push(format!("{name}_p99_us={:.0}", op.quantile_us(0.99)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_recorded_magnitudes() {
+        let op = OpMetrics::default();
+        assert_eq!(op.quantile_us(0.5), 0.0);
+        for _ in 0..90 {
+            op.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            op.record(Duration::from_millis(50));
+        }
+        assert_eq!(op.count(), 100);
+        let p50 = op.quantile_us(0.5);
+        assert!((80.0..130.0).contains(&p50), "p50 ≈ 100µs, got {p50}");
+        let p99 = op.quantile_us(0.99);
+        assert!((35_000.0..70_000.0).contains(&p99), "p99 ≈ 50ms, got {p99}");
+    }
+
+    #[test]
+    fn errors_do_not_pollute_latency() {
+        let op = OpMetrics::default();
+        op.record_error();
+        op.record_error();
+        assert_eq!(op.errors(), 2);
+        assert_eq!(op.count(), 0);
+        assert_eq!(op.quantile_us(0.99), 0.0);
+    }
+
+    #[test]
+    fn oversized_latency_clamps_to_range_top() {
+        let op = OpMetrics::default();
+        op.record(Duration::from_secs(100)); // beyond the 10 s histogram
+        assert!(op.quantile_us(0.5) >= 10f64.powf(6.9));
+    }
+}

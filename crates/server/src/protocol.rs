@@ -1,0 +1,258 @@
+//! The wire protocol: one request per line, one reply line per request.
+//!
+//! Requests are tab-separated fields; the first field is a case-insensitive
+//! verb. Replies are a single line of tab-separated fields starting with
+//! `OK` (followed by the echoed verb and its payload) or `ERR` (followed by
+//! a message). Keeping both sides line-delimited means any client — including
+//! `nc` — can drive the server, and replies are deterministic functions of
+//! the query results, so they can be compared byte-for-byte against replies
+//! assembled from direct [`vdx_core::DataExplorer`] calls.
+//!
+//! | Request | Reply |
+//! |---|---|
+//! | `PING` | `OK\tPONG` |
+//! | `INFO` | `OK\tINFO\t<timesteps>\t<steps csv>` |
+//! | `STATS` | `OK\tSTATS\t<key=value>\t…` |
+//! | `SELECT\t<step>\t<query>` | `OK\tSELECT\t<count>\t<ids csv>` |
+//! | `REFINE\t<step>\t<ids csv>\t<query>` | `OK\tREFINE\t<count>\t<ids csv>` |
+//! | `HIST\t<step>\t<column>\t<bins>[\t<condition>]` | `OK\tHIST\t<total>\t<lo>\t<hi>\t<counts csv>` |
+//! | `TRACK\t<ids csv>` | `OK\tTRACK\t<traces>\t<total hits>\t<id:points csv>` |
+//! | `QUIT` | `OK\tBYE` (connection closes) |
+//! | `SHUTDOWN` | `OK\tBYE` (server drains and stops) |
+
+use histogram::Hist1D;
+use pipeline::TrackingOutput;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Catalog metadata.
+    Info,
+    /// Server metrics and cache counters.
+    Stats,
+    /// Evaluate a selection query at one timestep.
+    Select {
+        /// Timestep to query.
+        step: usize,
+        /// Query text, e.g. `px > 8.872e10 && y > 0`.
+        query: String,
+    },
+    /// Intersect an id set with a query at one timestep.
+    Refine {
+        /// Timestep to query.
+        step: usize,
+        /// Particle identifiers to restrict to.
+        ids: Vec<u64>,
+        /// Additional query text.
+        query: String,
+    },
+    /// 1D histogram of a column, optionally restricted by a condition.
+    Hist {
+        /// Timestep to histogram.
+        step: usize,
+        /// Column name.
+        column: String,
+        /// Number of uniform bins.
+        bins: usize,
+        /// Optional condition query text.
+        condition: Option<String>,
+    },
+    /// Trace particle identifiers across every timestep.
+    Track {
+        /// Particle identifiers to trace.
+        ids: Vec<u64>,
+    },
+    /// Close this connection.
+    Quit,
+    /// Gracefully stop the whole server.
+    Shutdown,
+}
+
+fn parse_ids(field: &str) -> Result<Vec<u64>, String> {
+    if field.is_empty() {
+        return Ok(Vec::new());
+    }
+    field
+        .split(',')
+        .map(|s| s.trim().parse::<u64>().map_err(|_| format!("bad id '{s}'")))
+        .collect()
+}
+
+fn parse_step(field: &str) -> Result<usize, String> {
+    field
+        .parse::<usize>()
+        .map_err(|_| format!("bad timestep '{field}'"))
+}
+
+/// Parse one request line. Returns a human-readable message on malformed
+/// input; the server turns that into an `ERR` reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let fields: Vec<&str> = line.split('\t').collect();
+    let verb = fields[0].trim().to_ascii_uppercase();
+    match (verb.as_str(), fields.len()) {
+        ("PING", 1) => Ok(Request::Ping),
+        ("INFO", 1) => Ok(Request::Info),
+        ("STATS", 1) => Ok(Request::Stats),
+        ("QUIT", 1) => Ok(Request::Quit),
+        ("SHUTDOWN", 1) => Ok(Request::Shutdown),
+        ("SELECT", 3) => Ok(Request::Select {
+            step: parse_step(fields[1])?,
+            query: fields[2].to_string(),
+        }),
+        ("REFINE", 4) => Ok(Request::Refine {
+            step: parse_step(fields[1])?,
+            ids: parse_ids(fields[2])?,
+            query: fields[3].to_string(),
+        }),
+        ("HIST", 4 | 5) => Ok(Request::Hist {
+            step: parse_step(fields[1])?,
+            column: fields[2].to_string(),
+            bins: fields[3]
+                .parse::<usize>()
+                .map_err(|_| format!("bad bin count '{}'", fields[3]))?,
+            condition: fields.get(4).map(|s| s.to_string()),
+        }),
+        ("TRACK", 2) => Ok(Request::Track {
+            ids: parse_ids(fields[1])?,
+        }),
+        ("", _) => Err("empty request".to_string()),
+        (verb, n) => Err(format!("unknown request '{verb}' with {} field(s)", n - 1)),
+    }
+}
+
+/// Join values with commas (no trailing separator, empty for no values).
+fn csv<T: std::fmt::Display>(values: impl IntoIterator<Item = T>) -> String {
+    let mut out = String::new();
+    for (i, v) in values.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+/// `OK\t<verb>\t<count>\t<ids csv>` — the reply to SELECT and REFINE.
+pub fn ids_reply(verb: &str, ids: &[u64]) -> String {
+    format!("OK\t{verb}\t{}\t{}", ids.len(), csv(ids.iter()))
+}
+
+/// `OK\tHIST\t<total>\t<lo>\t<hi>\t<counts csv>`.
+pub fn hist_reply(hist: &Hist1D) -> String {
+    format!(
+        "OK\tHIST\t{}\t{}\t{}\t{}",
+        hist.total(),
+        hist.edges().lo(),
+        hist.edges().hi(),
+        csv(hist.counts().iter())
+    )
+}
+
+/// `OK\tTRACK\t<traces>\t<total hits>\t<id:points csv>` — traces are sorted
+/// by identifier, so the reply is deterministic.
+pub fn track_reply(tracking: &TrackingOutput) -> String {
+    format!(
+        "OK\tTRACK\t{}\t{}\t{}",
+        tracking.traces.len(),
+        tracking.total_hits(),
+        csv(tracking
+            .traces
+            .iter()
+            .map(|t| format!("{}:{}", t.id, t.points.len())))
+    )
+}
+
+/// `OK\tINFO\t<timesteps>\t<steps csv>`.
+pub fn info_reply(steps: &[usize]) -> String {
+    format!("OK\tINFO\t{}\t{}", steps.len(), csv(steps.iter()))
+}
+
+/// `ERR\t<message>` with the message flattened to one line.
+pub fn err_reply(message: &str) -> String {
+    let flat: String = message
+        .chars()
+        .map(|c| {
+            if c == '\n' || c == '\r' || c == '\t' {
+                ' '
+            } else {
+                c
+            }
+        })
+        .collect();
+    format!("ERR\t{flat}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse_case_insensitively() {
+        assert_eq!(parse_request("ping"), Ok(Request::Ping));
+        assert_eq!(parse_request("QUIT\n"), Ok(Request::Quit));
+        assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
+        assert_eq!(
+            parse_request("select\t3\tpx > 1e9 && y > 0"),
+            Ok(Request::Select {
+                step: 3,
+                query: "px > 1e9 && y > 0".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn structured_requests_parse() {
+        assert_eq!(
+            parse_request("REFINE\t2\t1,2,3\tx > 0"),
+            Ok(Request::Refine {
+                step: 2,
+                ids: vec![1, 2, 3],
+                query: "x > 0".to_string()
+            })
+        );
+        assert_eq!(
+            parse_request("HIST\t0\tpx\t64"),
+            Ok(Request::Hist {
+                step: 0,
+                column: "px".to_string(),
+                bins: 64,
+                condition: None
+            })
+        );
+        assert_eq!(
+            parse_request("HIST\t0\tpx\t64\ty > 0"),
+            Ok(Request::Hist {
+                step: 0,
+                column: "px".to_string(),
+                bins: 64,
+                condition: Some("y > 0".to_string())
+            })
+        );
+        assert_eq!(
+            parse_request("TRACK\t5,9"),
+            Ok(Request::Track { ids: vec![5, 9] })
+        );
+        assert_eq!(parse_request("TRACK\t"), Ok(Request::Track { ids: vec![] }));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("NOPE").is_err());
+        assert!(parse_request("SELECT\tx\tpx > 1").is_err());
+        assert!(parse_request("SELECT\t1").is_err());
+        assert!(parse_request("TRACK\t1,frog").is_err());
+        assert!(parse_request("HIST\t1\tpx\tmany").is_err());
+    }
+
+    #[test]
+    fn replies_are_single_tab_separated_lines() {
+        assert_eq!(ids_reply("SELECT", &[3, 5, 8]), "OK\tSELECT\t3\t3,5,8");
+        assert_eq!(ids_reply("REFINE", &[]), "OK\tREFINE\t0\t");
+        assert_eq!(err_reply("bad\nthing\there"), "ERR\tbad thing here");
+        assert_eq!(info_reply(&[0, 1, 2]), "OK\tINFO\t3\t0,1,2");
+    }
+}

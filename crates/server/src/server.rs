@@ -1,0 +1,515 @@
+//! The concurrent TCP query server.
+//!
+//! A `std::net::TcpListener` accept loop hands connections to a fixed pool
+//! of worker threads over an `mpsc` channel (no async runtime — the workload
+//! is index evaluation, not I/O multiplexing, so a thread per in-flight
+//! connection is the simplest correct model). Every worker serves its
+//! connection line-by-line against shared state:
+//!
+//! * an `Arc<Catalog>` (the timestep directory),
+//! * a [`DatasetCache`] keeping hot timesteps (columns + WAH indexes)
+//!   resident under a byte budget,
+//! * a [`QueryCache`] memoizing SELECT/HIST replies by
+//!   `(step, normalized query)`, and
+//! * [`ServerMetrics`] for per-op counts and latency quantiles.
+//!
+//! Shutdown is graceful: the `SHUTDOWN` verb (or [`ServerHandle::shutdown`])
+//! flips a flag and unblocks the accept loop; workers finish the
+//! connections they hold and the run loop joins them before returning.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use datastore::{Catalog, DatasetCache, DatasetCacheConfig};
+use fastbit::{parse_query, HistEngine};
+use parking_lot::Mutex;
+use vdx_core::{DataExplorer, ExplorerConfig};
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, Request};
+use crate::query_cache::QueryCache;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections (at least 1).
+    pub workers: usize,
+    /// Parallel "nodes" used by catalog-wide tracking requests.
+    pub nodes: usize,
+    /// Execution engine for query evaluation and histograms.
+    pub engine: HistEngine,
+    /// Budget and sharding of the resident dataset cache.
+    pub dataset_cache: DatasetCacheConfig,
+    /// Maximum memoized query replies (0 disables the query cache).
+    pub query_cache_entries: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            nodes: 2,
+            engine: HistEngine::FastBit,
+            dataset_cache: DatasetCacheConfig::default(),
+            query_cache_entries: 1024,
+        }
+    }
+}
+
+/// Shared state visible to every worker.
+///
+/// Query semantics live in one place: every data operation goes through the
+/// shared [`DataExplorer`] (configured with the same engine and node count
+/// and routed through the dataset cache), so the server cannot drift from
+/// the library behaviour — replies are byte-identical by construction.
+#[derive(Debug)]
+pub struct ServerState {
+    explorer: DataExplorer,
+    datasets: Arc<DatasetCache>,
+    queries: QueryCache,
+    metrics: ServerMetrics,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// The dataset cache (for inspection in tests and the smoke driver).
+    pub fn dataset_cache(&self) -> &DatasetCache {
+        &self.datasets
+    }
+
+    /// The query cache.
+    pub fn query_cache(&self) -> &QueryCache {
+        &self.queries
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Serve one request line; returns the reply and whether the connection
+    /// should close afterwards.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let request = match protocol::parse_request(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                self.metrics.meta.record_error();
+                return (protocol::err_reply(&msg), false);
+            }
+        };
+        match request {
+            Request::Quit => ("OK\tBYE".to_string(), true),
+            Request::Shutdown => {
+                self.trigger_shutdown();
+                ("OK\tBYE".to_string(), true)
+            }
+            Request::Ping => {
+                self.metrics.meta.record(std::time::Duration::ZERO);
+                ("OK\tPONG".to_string(), false)
+            }
+            Request::Info => {
+                let started = Instant::now();
+                let reply = protocol::info_reply(&self.explorer.steps());
+                self.metrics.meta.record(started.elapsed());
+                (reply, false)
+            }
+            Request::Stats => {
+                let started = Instant::now();
+                let reply = self.stats_reply();
+                self.metrics.meta.record(started.elapsed());
+                (reply, false)
+            }
+            Request::Select { step, query } => {
+                self.timed(|s| s.op_select(step, &query), |m| &m.select)
+            }
+            Request::Refine { step, ids, query } => {
+                self.timed(|s| s.op_refine(step, &ids, &query), |m| &m.refine)
+            }
+            Request::Hist {
+                step,
+                column,
+                bins,
+                condition,
+            } => self.timed(
+                |s| s.op_hist(step, &column, bins, condition.as_deref()),
+                |m| &m.hist,
+            ),
+            Request::Track { ids } => self.timed(|s| s.op_track(&ids), |m| &m.track),
+        }
+    }
+
+    /// Run `op`, record its latency (or error) under the metric picked by
+    /// `metric`, and map errors to `ERR` replies.
+    fn timed(
+        &self,
+        op: impl FnOnce(&Self) -> Result<String, String>,
+        metric: impl FnOnce(&ServerMetrics) -> &crate::metrics::OpMetrics,
+    ) -> (String, bool) {
+        let started = Instant::now();
+        match op(self) {
+            Ok(reply) => {
+                metric(&self.metrics).record(started.elapsed());
+                (reply, false)
+            }
+            Err(msg) => {
+                metric(&self.metrics).record_error();
+                (protocol::err_reply(&msg), false)
+            }
+        }
+    }
+
+    fn op_select(&self, step: usize, query: &str) -> Result<String, String> {
+        let expr = parse_query(query).map_err(|e| e.to_string())?;
+        let key = format!("select:{step}:{}", expr.cache_key());
+        if let Some(reply) = self.queries.get(&key) {
+            return Ok(reply.to_string());
+        }
+        self.metrics.note_evaluation();
+        let beam = self
+            .explorer
+            .select(step, query)
+            .map_err(|e| e.to_string())?;
+        let reply = protocol::ids_reply("SELECT", &beam.ids);
+        self.queries.insert(key, &reply);
+        Ok(reply)
+    }
+
+    fn op_refine(&self, step: usize, ids: &[u64], query: &str) -> Result<String, String> {
+        // Not memoized: the key would have to embed the whole id set.
+        let expr = parse_query(query).map_err(|e| e.to_string())?;
+        self.metrics.note_evaluation();
+        let refined = self
+            .explorer
+            .refine_ids(step, ids, &expr)
+            .map_err(|e| e.to_string())?;
+        Ok(protocol::ids_reply("REFINE", &refined))
+    }
+
+    fn op_hist(
+        &self,
+        step: usize,
+        column: &str,
+        bins: usize,
+        condition: Option<&str>,
+    ) -> Result<String, String> {
+        let cond_key = condition
+            .map(|c| parse_query(c).map_err(|e| e.to_string()))
+            .transpose()?
+            .map_or_else(|| "*".to_string(), |c| c.cache_key());
+        let key = format!("hist:{step}:{column}:{bins}:{cond_key}");
+        if let Some(reply) = self.queries.get(&key) {
+            return Ok(reply.to_string());
+        }
+        self.metrics.note_evaluation();
+        let hist = self
+            .explorer
+            .histogram1d(step, column, bins, condition)
+            .map_err(|e| e.to_string())?;
+        let reply = protocol::hist_reply(&hist);
+        self.queries.insert(key, &reply);
+        Ok(reply)
+    }
+
+    fn op_track(&self, ids: &[u64]) -> Result<String, String> {
+        // Tracking walks every timestep through the pipeline Tracker (disk
+        // I/O bound when cold), so the deterministic reply is worth
+        // memoizing by the exact id list.
+        let key = format!(
+            "track:{}",
+            ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+        );
+        if let Some(reply) = self.queries.get(&key) {
+            return Ok(reply.to_string());
+        }
+        self.metrics.note_evaluation();
+        let tracking = self.explorer.track(ids).map_err(|e| e.to_string())?;
+        let reply = protocol::track_reply(&tracking);
+        self.queries.insert(key, &reply);
+        Ok(reply)
+    }
+
+    fn stats_reply(&self) -> String {
+        let ds = self.datasets.stats();
+        let qc = self.queries.stats();
+        let mut fields = vec![
+            format!("ds_hits={}", ds.hits),
+            format!("ds_misses={}", ds.misses),
+            format!("ds_evictions={}", ds.evictions),
+            format!("ds_resident_bytes={}", ds.resident_bytes),
+            format!("ds_peak_resident_bytes={}", ds.peak_resident_bytes),
+            format!("ds_budget_bytes={}", self.datasets.max_bytes()),
+            format!("qc_hits={}", qc.hits),
+            format!("qc_misses={}", qc.misses),
+            format!("qc_evictions={}", qc.evictions),
+            format!("qc_len={}", qc.len),
+            format!("evaluations={}", self.metrics.evaluations()),
+        ];
+        ServerMetrics::append_op_fields(&mut fields, "select", &self.metrics.select);
+        ServerMetrics::append_op_fields(&mut fields, "refine", &self.metrics.refine);
+        ServerMetrics::append_op_fields(&mut fields, "hist", &self.metrics.hist);
+        ServerMetrics::append_op_fields(&mut fields, "track", &self.metrics.track);
+        ServerMetrics::append_op_fields(&mut fields, "meta", &self.metrics.meta);
+        format!("OK\tSTATS\t{}", fields.join("\t"))
+    }
+}
+
+/// A handle for controlling a running (or about-to-run) server.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound address (use this to connect when binding to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Request a graceful stop: the accept loop exits, workers drain.
+    pub fn shutdown(&self) {
+        self.state.trigger_shutdown();
+    }
+
+    /// Shared server state (caches, metrics) for inspection.
+    pub fn state(&self) -> &ServerState {
+        &self.state
+    }
+}
+
+/// The bound-but-not-yet-running server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) serving
+    /// `catalog` with `config`.
+    pub fn bind(
+        catalog: Arc<Catalog>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let datasets = Arc::new(DatasetCache::new(config.dataset_cache.clone()));
+        let explorer = DataExplorer::from_catalog(
+            catalog,
+            ExplorerConfig {
+                nodes: config.nodes,
+                engine: config.engine,
+                ..Default::default()
+            },
+        )
+        .with_dataset_cache(Arc::clone(&datasets));
+        let state = Arc::new(ServerState {
+            explorer,
+            datasets,
+            queries: QueryCache::new(config.query_cache_entries),
+            metrics: ServerMetrics::default(),
+            addr: listener.local_addr()?,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server {
+            listener,
+            state,
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// A control handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain workers and return.
+    pub fn run(self) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.workers)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&self.state);
+                std::thread::spawn(move || loop {
+                    // Take the next connection, releasing the lock before
+                    // serving it so other workers keep draining the queue.
+                    let next = rx.lock().recv();
+                    match next {
+                        Ok(stream) => serve_connection(&state, stream),
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => continue,
+            }
+        }
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Run on a background thread, returning the control handle and the
+    /// join handle of the serving thread.
+    pub fn spawn(self) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        (handle, join)
+    }
+}
+
+/// Serve one client connection line-by-line until QUIT, EOF or an I/O error.
+fn serve_connection(state: &ServerState, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let (reply, close) = state.handle_line(&line);
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if close {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datastore::DatasetCacheConfig;
+    use histogram::Binning;
+    use lwfa::{SimConfig, Simulation};
+    use std::path::PathBuf;
+
+    fn tiny_catalog(tag: &str) -> (Arc<Catalog>, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("vdx_server_unit_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut catalog = Catalog::create(&dir).unwrap();
+        let mut config = SimConfig::tiny();
+        config.particles_per_step = 300;
+        config.num_timesteps = 6;
+        Simulation::new(config)
+            .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 16 }))
+            .unwrap();
+        (Arc::new(catalog), dir)
+    }
+
+    fn test_server(tag: &str) -> (Server, PathBuf) {
+        let (catalog, dir) = tiny_catalog(tag);
+        let server = Server::bind(
+            catalog,
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                dataset_cache: DatasetCacheConfig {
+                    max_bytes: 64 << 20,
+                    shards: 2,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (server, dir)
+    }
+
+    #[test]
+    fn handle_line_answers_every_verb() {
+        let (server, dir) = test_server("verbs");
+        let state = server.handle();
+        let state = state.state();
+        assert_eq!(state.handle_line("PING").0, "OK\tPONG");
+        assert!(state.handle_line("INFO").0.starts_with("OK\tINFO\t6\t"));
+        let (select, _) = state.handle_line("SELECT\t5\tpx > 0");
+        assert!(select.starts_with("OK\tSELECT\t"));
+        let (hist, _) = state.handle_line("HIST\t5\tpx\t16");
+        assert!(hist.starts_with("OK\tHIST\t"));
+        let (track, _) = state.handle_line("TRACK\t1,2,3");
+        assert!(track.starts_with("OK\tTRACK\t3\t"));
+        let (refine, _) = state.handle_line("REFINE\t5\t1,2,3\tpx > 0");
+        assert!(refine.starts_with("OK\tREFINE\t"));
+        let (stats, _) = state.handle_line("STATS");
+        assert!(stats.contains("ds_hits="));
+        assert!(state.handle_line("BOGUS").0.starts_with("ERR\t"));
+        assert!(state
+            .handle_line("SELECT\t99\tpx > 0")
+            .0
+            .starts_with("ERR\t"));
+        assert!(state.handle_line("SELECT\t5\tpx >").0.starts_with("ERR\t"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_select_is_memoized_without_reevaluation() {
+        let (server, dir) = test_server("memo");
+        let handle = server.handle();
+        let state = handle.state();
+        let (first, _) = state.handle_line("SELECT\t3\tpx > 1e9 && y > 0");
+        let evals = state.metrics().evaluations();
+        // Same query, different predicate order → same normalized key.
+        let (second, _) = state.handle_line("SELECT\t3\ty > 0 && px > 1e9");
+        assert_eq!(first, second);
+        assert_eq!(state.metrics().evaluations(), evals, "answered from cache");
+        assert!(state.query_cache().stats().hits >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tcp_roundtrip_and_graceful_shutdown() {
+        let (server, dir) = test_server("tcp");
+        let (handle, join) = server.spawn();
+        let mut client = crate::client::Client::connect(handle.addr()).unwrap();
+        assert_eq!(client.request("PING").unwrap(), "OK\tPONG");
+        let reply = client.request("SELECT\t5\tpx > 0").unwrap();
+        assert!(reply.starts_with("OK\tSELECT\t"));
+        assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
+        drop(client);
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
