@@ -19,6 +19,7 @@
 
 use std::path::PathBuf;
 
+use fastbit::par::{evaluate_chunked, ParExec, DEFAULT_CHUNK_ROWS};
 use fastbit::{scan, BinSpec, HistEngine, HistogramEngine, QueryExpr, ValueRange};
 use pipeline::{HistogramStage, NodePool, Tracker};
 use vdx_bench::{
@@ -88,6 +89,7 @@ fn main() {
     fig11_unconditional_histograms(&args);
     fig12_conditional_histograms(&args);
     fig13_id_queries(&args);
+    fig_par_engine(&args);
     fig14_15_parallel_histograms(&args);
     fig16_17_parallel_tracking(&args);
     println!("\nCSV series written to {}/", args.out.display());
@@ -298,6 +300,98 @@ fn fig13_id_queries(args: &Args) {
     )
     .unwrap();
     write_bench_json(&args.out, "BENCH_fig13_id_query.json", &records).unwrap();
+}
+
+/// Sequential-vs-parallel chunked engine: one SELECT and one conditional 1D
+/// histogram over the serial dataset, at each thread count of `--nodes`.
+/// The sequential baselines (`seq_*`, the legacy non-chunked path) and the
+/// chunked series (`par_*`, n = threads) land in the same `BENCH` file so
+/// the speedup trajectory is machine-readable across PRs. Every measured
+/// result is asserted identical to the sequential oracle before timing is
+/// reported — the differential guarantee, enforced even here.
+fn fig_par_engine(args: &Args) {
+    println!("\n== Chunked parallel engine: select / conditional hist1d vs threads ==");
+    let dataset = serial_dataset(args.particles);
+    let engine = HistogramEngine::new(&dataset);
+    // ~1% selectivity compound condition, as in the conditional figures.
+    let threshold = threshold_for_hits(&dataset, args.particles / 100);
+    let cond = QueryExpr::pred("px", ValueRange::gt(threshold))
+        .and(QueryExpr::pred("x", ValueRange::gt(0.0)));
+    let bins = 1024usize;
+
+    let (oracle_sel, seq_sel_t) = time_stats(args.samples, || {
+        engine
+            .evaluate_condition(&cond, HistEngine::Custom)
+            .unwrap()
+    });
+    let (oracle_hist, seq_hist_t) = time_stats(args.samples, || {
+        engine
+            .hist1d(
+                "px",
+                &BinSpec::Uniform(bins),
+                Some(&cond),
+                HistEngine::Custom,
+            )
+            .unwrap()
+    });
+    let mut records = vec![
+        BenchRecord::new("seq_select_scan", 1, seq_sel_t),
+        BenchRecord::new("seq_hist1d_cond", 1, seq_hist_t),
+    ];
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>12}",
+        "threads", "select_s", "hist1d_s", "sel_speedup", "hist_speedup"
+    );
+    println!(
+        "{:>8} {:>14.4} {:>14.4} {:>12} {:>12}",
+        "seq", seq_sel_t.median_s, seq_hist_t.median_s, "-", "-"
+    );
+    let mut rows = vec![format!("0,{},{}", seq_sel_t.median_s, seq_hist_t.median_s)];
+    for &threads in &args.nodes {
+        let exec = ParExec::new(threads, DEFAULT_CHUNK_ROWS);
+        let (sel, sel_t) = time_stats(args.samples, || {
+            evaluate_chunked(&cond, &dataset, &exec).unwrap()
+        });
+        assert_eq!(
+            sel.to_rows(),
+            oracle_sel.to_rows(),
+            "chunked selection diverged from the sequential oracle"
+        );
+        let (hist, hist_t) = time_stats(args.samples, || {
+            engine
+                .hist1d_par(
+                    "px",
+                    &BinSpec::Uniform(bins),
+                    Some(&cond),
+                    HistEngine::Custom,
+                    &exec,
+                )
+                .unwrap()
+        });
+        assert_eq!(
+            hist, oracle_hist,
+            "chunked histogram diverged from the sequential oracle"
+        );
+        println!(
+            "{:>8} {:>14.4} {:>14.4} {:>12.2} {:>12.2}",
+            threads,
+            sel_t.median_s,
+            hist_t.median_s,
+            seq_sel_t.median_s / sel_t.median_s.max(1e-12),
+            seq_hist_t.median_s / hist_t.median_s.max(1e-12)
+        );
+        rows.push(format!("{threads},{},{}", sel_t.median_s, hist_t.median_s));
+        records.push(BenchRecord::new("par_select", threads, sel_t));
+        records.push(BenchRecord::new("par_hist1d_cond", threads, hist_t));
+    }
+    write_csv(
+        &args.out,
+        "par_engine.csv",
+        "threads,select_s,hist1d_s",
+        &rows,
+    )
+    .unwrap();
+    write_bench_json(&args.out, "BENCH_par_engine.json", &records).unwrap();
 }
 
 /// Figures 14 and 15: parallel histogram computation times and speedups.

@@ -4,7 +4,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use datastore::{Catalog, Dataset, DatasetCache};
-use fastbit::{parse_query, BinSpec, HistEngine, QueryExpr};
+use fastbit::{parse_query, BinSpec, HistEngine, ParExec, ParStatsSnapshot, QueryExpr};
 use histogram::{Binning, Hist2D};
 use lwfa::{SimConfig, Simulation};
 use pcoords::{AxisSpec, Framebuffer, Layer, ParallelCoordsPlot, PlotConfig, Rgba};
@@ -25,6 +25,13 @@ pub struct ExplorerConfig {
     pub index_binning: Binning,
     /// Default histogram resolution (bins per axis).
     pub default_bins: usize,
+    /// Worker threads used *within* one query/histogram evaluation by the
+    /// chunked parallel engine. `1` (the default) runs the exact legacy
+    /// sequential path; `> 1` evaluates per-chunk with zone-map pruning and
+    /// produces the identical row sets and histogram counts.
+    pub threads: usize,
+    /// Rows per evaluation chunk of the parallel engine.
+    pub chunk_rows: usize,
 }
 
 impl Default for ExplorerConfig {
@@ -34,6 +41,8 @@ impl Default for ExplorerConfig {
             engine: HistEngine::FastBit,
             index_binning: Binning::EqualWidth { bins: 256 },
             default_bins: 256,
+            threads: 1,
+            chunk_rows: fastbit::par::DEFAULT_CHUNK_ROWS,
         }
     }
 }
@@ -63,6 +72,9 @@ pub struct DataExplorer {
     /// When set, timestep loads go through this shared cache (full column
     /// set + indexes) instead of re-reading files per call.
     cache: Option<Arc<DatasetCache>>,
+    /// The chunked parallel executor (thread count, chunk size, lifetime
+    /// pruning statistics). Only consulted when `config.threads > 1`.
+    par: ParExec,
 }
 
 impl DataExplorer {
@@ -87,10 +99,12 @@ impl DataExplorer {
 
     /// Build an explorer over an already opened, shared catalog.
     pub fn from_catalog(catalog: Arc<Catalog>, config: ExplorerConfig) -> Self {
+        let par = ParExec::new(config.threads, config.chunk_rows);
         Self {
             catalog,
             config,
             cache: None,
+            par,
         }
     }
 
@@ -155,17 +169,42 @@ impl DataExplorer {
         }
     }
 
+    /// Whether intra-query chunked parallelism is enabled.
+    fn parallel(&self) -> bool {
+        self.config.threads > 1
+    }
+
+    /// The chunked parallel executor (thread count, chunk size, stats).
+    pub fn par_exec(&self) -> &ParExec {
+        &self.par
+    }
+
+    /// Lifetime counters of the chunked parallel engine: evaluations run and
+    /// chunks pruned/scanned. All zero while `threads == 1`.
+    pub fn par_stats(&self) -> ParStatsSnapshot {
+        self.par.stats()
+    }
+
     /// Select particles at `step` with a textual query such as
     /// `"px > 8.872e10"` and return their identifiers.
     pub fn select(&self, step: usize, query: &str) -> Result<BeamSelection> {
         let expr = parse_query(query)?;
-        let ids = match &self.cache {
-            Some(_) => {
-                let dataset = self.load_step(step, None, true)?;
-                let selection = fastbit::evaluate_with_strategy(&expr, &*dataset, self.strategy())?;
-                dataset.ids_of(&selection)?
+        let ids = if self.parallel() {
+            // The chunked evaluator never consults bitmap indexes, so skip
+            // the sidecar load (cached loads always carry them regardless).
+            let dataset = self.load_step(step, None, false)?;
+            let selection = fastbit::par::evaluate_chunked(&expr, &*dataset, &self.par)?;
+            dataset.ids_of(&selection)?
+        } else {
+            match &self.cache {
+                Some(_) => {
+                    let dataset = self.load_step(step, None, true)?;
+                    let selection =
+                        fastbit::evaluate_with_strategy(&expr, &*dataset, self.strategy())?;
+                    dataset.ids_of(&selection)?
+                }
+                None => self.analyzer().select(step, &expr)?.0,
             }
-            None => self.analyzer().select(step, &expr)?.0,
         };
         Ok(BeamSelection {
             step,
@@ -195,6 +234,12 @@ impl DataExplorer {
     /// of `ids` that also satisfies `expr` at `step`. Exposed for callers
     /// (like the server) that track id sets without a [`BeamSelection`].
     pub fn refine_ids(&self, step: usize, ids: &[u64], expr: &QueryExpr) -> Result<Vec<u64>> {
+        if self.parallel() {
+            let dataset = self.load_step(step, None, true)?;
+            let by_id = dataset.select_ids(ids)?;
+            let by_query = fastbit::par::evaluate_chunked(expr, &*dataset, &self.par)?;
+            return Ok(dataset.ids_of(&by_id.and(&by_query)?)?);
+        }
         match &self.cache {
             Some(_) => {
                 let dataset = self.load_step(step, None, true)?;
@@ -237,6 +282,15 @@ impl DataExplorer {
     ) -> Result<histogram::Hist1D> {
         let condition = condition.map(parse_query).transpose()?;
         let dataset = self.load_step(step, None, self.config.engine == HistEngine::FastBit)?;
+        if self.parallel() {
+            return Ok(dataset.hist_engine().hist1d_par(
+                column,
+                &BinSpec::Uniform(bins),
+                condition.as_ref(),
+                self.config.engine,
+                &self.par,
+            )?);
+        }
         Ok(dataset.hist_engine().hist1d(
             column,
             &BinSpec::Uniform(bins),
@@ -261,16 +315,36 @@ impl DataExplorer {
         let condition = condition.map(parse_query).transpose()?;
         let dataset = self.load_step(step, None, self.config.engine == HistEngine::FastBit)?;
         let engine = dataset.hist_engine();
-        let selection = condition
-            .as_ref()
-            .map(|c| engine.evaluate_condition(c, self.config.engine))
-            .transpose()?;
         let spec = if adaptive {
             BinSpec::Adaptive(bins)
         } else {
             BinSpec::Uniform(bins)
         };
         let mut hists = Vec::with_capacity(axes.len() - 1);
+        if self.parallel() {
+            // One chunked evaluation of the condition shared by every pair;
+            // binning itself is chunked across the pool too.
+            let cond = condition
+                .as_ref()
+                .map(|c| engine.evaluate_condition_chunked(c, &self.par))
+                .transpose()?;
+            for pair in axes.windows(2) {
+                hists.push(engine.hist2d_with_condition_par(
+                    pair[0],
+                    pair[1],
+                    &spec,
+                    &spec,
+                    cond.as_ref(),
+                    self.config.engine,
+                    &self.par,
+                )?);
+            }
+            return Ok(hists);
+        }
+        let selection = condition
+            .as_ref()
+            .map(|c| engine.evaluate_condition(c, self.config.engine))
+            .transpose()?;
         for pair in axes.windows(2) {
             hists.push(engine.hist2d_with_selection(
                 pair[0],
@@ -505,6 +579,56 @@ mod tests {
         let stats = cache.stats();
         assert!(stats.hits + stats.misses > 0);
         assert!(stats.hits > 0, "repeated loads served from cache");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_explorer_matches_sequential_exactly() {
+        let (sequential, dir) = small_explorer("par_vs_seq");
+        let catalog = sequential.catalog_arc();
+        let parallel = DataExplorer::from_catalog(
+            Arc::clone(&catalog),
+            ExplorerConfig {
+                threads: 4,
+                chunk_rows: 97,
+                nodes: 2,
+                index_binning: Binning::EqualWidth { bins: 32 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(parallel.par_exec().threads(), 4);
+
+        let a = sequential.select(17, "px > 1.5e10 && y > 0").unwrap();
+        let b = parallel.select(17, "px > 1.5e10 && y > 0").unwrap();
+        assert_eq!(a.ids, b.ids);
+
+        let ra = sequential.refine(&a, 16, "y > 0").unwrap();
+        let rb = parallel.refine(&b, 16, "y > 0").unwrap();
+        assert_eq!(ra.ids, rb.ids);
+
+        for condition in [None, Some("px > 1e10"), Some("px > 1e30")] {
+            let ha = sequential.histogram1d(15, "px", 48, condition).unwrap();
+            let hb = parallel.histogram1d(15, "px", 48, condition).unwrap();
+            assert_eq!(ha, hb, "condition {condition:?}");
+        }
+
+        let axes = ["x", "px", "y"];
+        let pa = sequential
+            .axis_histograms(15, &axes, 24, Some("px > 1e10"), false)
+            .unwrap();
+        let pb = parallel
+            .axis_histograms(15, &axes, 24, Some("px > 1e10"), false)
+            .unwrap();
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(pb.iter()) {
+            assert_eq!(x.counts(), y.counts());
+            assert_eq!(x.x_edges(), y.x_edges());
+            assert_eq!(x.y_edges(), y.y_edges());
+        }
+
+        let stats = parallel.par_stats();
+        assert!(stats.queries >= 4, "chunked engine actually ran");
+        assert_eq!(sequential.par_stats().queries, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,11 +1,14 @@
 //! The FastQuery-style dataset facade for one timestep.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use fastbit::{
     evaluate_query, BitmapIndex, ColumnProvider, HistogramEngine, IdIndex, QueryExpr, Selection,
+    ZoneMaps,
 };
 use histogram::Binning;
+use parking_lot::Mutex;
 
 use crate::error::{DataStoreError, Result};
 use crate::table::ParticleTable;
@@ -22,7 +25,15 @@ pub struct Dataset {
     indexes: HashMap<String, BitmapIndex>,
     id_index: Option<IdIndex>,
     step: usize,
+    /// Lazily built per-column zone maps, keyed by `(column, chunk_rows)`,
+    /// shared across clones (clones alias the same column values). Built on
+    /// first chunked query and reused by every later one, so the chunked
+    /// evaluator's pruning never pays a second scan.
+    zone_maps: Arc<Mutex<ZoneMapCache>>,
 }
+
+/// Cached zone maps keyed by `(column name, chunk rows)`.
+type ZoneMapCache = HashMap<(String, usize), Arc<ZoneMaps>>;
 
 impl Dataset {
     /// Wrap an in-memory table as timestep `step`, with no indexes attached.
@@ -32,6 +43,7 @@ impl Dataset {
             indexes: HashMap::new(),
             id_index: None,
             step,
+            zone_maps: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -107,12 +119,22 @@ impl Dataset {
     }
 
     /// Approximate resident memory footprint of the dataset: raw column
-    /// bytes plus every attached bitmap and identifier index. This is the
-    /// accounting unit of the [`crate::DatasetCache`] byte budget.
+    /// bytes plus every attached bitmap index, identifier index, and
+    /// zone map built so far. This is the accounting unit of the
+    /// [`crate::DatasetCache`] byte budget; zone maps built lazily *after* a
+    /// dataset was admitted are not re-accounted there (they are bounded by
+    /// `columns × size_of::<Zone>() × rows / chunk_rows`, a small fraction
+    /// of the column bytes at practical chunk sizes).
     pub fn resident_size_bytes(&self) -> usize {
         self.table.byte_len()
             + self.index_size_bytes()
             + self.id_index.as_ref().map_or(0, IdIndex::size_in_bytes)
+            + self
+                .zone_maps
+                .lock()
+                .values()
+                .map(|z| z.size_in_bytes())
+                .sum::<usize>()
     }
 
     /// Evaluate a compound Boolean range query, using indexes when available.
@@ -167,6 +189,16 @@ impl ColumnProvider for Dataset {
 
     fn index(&self, name: &str) -> Option<&BitmapIndex> {
         self.indexes.get(name)
+    }
+
+    fn zone_maps(&self, name: &str, chunk_rows: usize) -> Option<Arc<ZoneMaps>> {
+        let data = self.column(name)?;
+        let mut cache = self.zone_maps.lock();
+        Some(Arc::clone(
+            cache
+                .entry((name.to_string(), chunk_rows.max(1)))
+                .or_insert_with(|| Arc::new(ZoneMaps::build(data, chunk_rows))),
+        ))
     }
 }
 
@@ -256,6 +288,26 @@ mod tests {
             )
             .unwrap();
         assert_eq!(h.total(), 3000);
+    }
+
+    #[test]
+    fn zone_maps_are_cached_and_chunked_queries_agree() {
+        let d = dataset(5000);
+        let a = d.zone_maps("px", 512).unwrap();
+        let b = d.zone_maps("px", 512).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request served from the cache");
+        assert_eq!(a.num_chunks(), 10);
+        assert!(d.zone_maps("id", 512).is_none(), "id is not a float column");
+        // A clone shares the cache.
+        let c = d.clone().zone_maps("px", 512).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+
+        let expr = fastbit::parse_query("px > 5e10 && x < 5e-4").unwrap();
+        let sequential = d.query(&expr).unwrap();
+        let exec = fastbit::ParExec::new(4, 512);
+        let chunked = fastbit::par::evaluate_chunked(&expr, &d, &exec).unwrap();
+        assert_eq!(chunked.to_rows(), sequential.to_rows());
+        assert!(exec.stats().queries >= 1);
     }
 
     #[test]

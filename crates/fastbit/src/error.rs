@@ -29,6 +29,9 @@ pub enum FastBitError {
     /// An operation that requires raw column data (candidate check, adaptive
     /// binning of a selection) was invoked without it.
     RawDataRequired(String),
+    /// The parallel execution machinery itself failed (e.g. a chunk worker
+    /// panicked) — an internal fault, not a problem with the query.
+    Execution(String),
 }
 
 impl fmt::Display for FastBitError {
@@ -52,6 +55,7 @@ impl fmt::Display for FastBitError {
             FastBitError::RawDataRequired(what) => {
                 write!(f, "raw column data required for {what}")
             }
+            FastBitError::Execution(msg) => write!(f, "execution error: {msg}"),
         }
     }
 }

@@ -18,6 +18,7 @@
 use histogram::{rebin_equal_weight, BinEdges, Hist1D, Hist2D};
 
 use crate::error::{FastBitError, Result};
+use crate::par::{self, ChunkMasks, ParExec};
 use crate::query::{evaluate_with_strategy, ColumnProvider, ExecStrategy, QueryExpr};
 use crate::selection::Selection;
 
@@ -248,6 +249,171 @@ impl<'a, P: ColumnProvider> HistogramEngine<'a, P> {
     }
 }
 
+/// A condition evaluated by the chunked parallel engine: the per-chunk masks
+/// (for parallel binning) together with the merged [`Selection`] (for edge
+/// resolution and for callers that need the row set).
+#[derive(Debug, Clone)]
+pub struct EvaluatedCondition {
+    /// Per-chunk match masks.
+    pub masks: ChunkMasks,
+    /// The merged selection (same row set as sequential evaluation).
+    pub selection: Selection,
+}
+
+impl<'a, P: ColumnProvider + Sync> HistogramEngine<'a, P> {
+    /// Evaluate a condition with the chunked parallel engine. The selected
+    /// row set is identical to [`HistogramEngine::evaluate_condition`] for
+    /// either engine — chunked evaluation is scan-exact by construction.
+    pub fn evaluate_condition_chunked(
+        &self,
+        condition: &QueryExpr,
+        exec: &ParExec,
+    ) -> Result<EvaluatedCondition> {
+        let masks = par::evaluate_chunk_masks(condition, self.provider, exec)?;
+        let selection = masks.to_selection();
+        Ok(EvaluatedCondition { masks, selection })
+    }
+
+    /// Parallel counterpart of [`HistogramEngine::hist1d`]: the condition is
+    /// evaluated chunk-by-chunk (zone-map pruned) and the binning itself is
+    /// chunked across the pool, with per-chunk partial counts merged in
+    /// chunk order. Bin edges are resolved exactly as in the sequential
+    /// path, so the resulting histogram is identical bin-for-bin.
+    pub fn hist1d_par(
+        &self,
+        column: &str,
+        spec: &BinSpec,
+        condition: Option<&QueryExpr>,
+        engine: HistEngine,
+        exec: &ParExec,
+    ) -> Result<Hist1D> {
+        let cond = condition
+            .map(|c| self.evaluate_condition_chunked(c, exec))
+            .transpose()?;
+        let edges =
+            self.resolve_edges(column, spec, cond.as_ref().map(|c| &c.selection), engine)?;
+
+        // Mirror the sequential pure-index fast path bit-for-bit: an
+        // unconditional FastBit request whose edges coincide with the index
+        // reads the counts straight off the bitmaps.
+        if engine == HistEngine::FastBit && cond.is_none() {
+            if let Some(idx) = self.provider.index(column) {
+                if idx.edges() == &edges {
+                    return Ok(Hist1D::from_counts(edges, idx.bin_counts())?);
+                }
+            }
+        }
+
+        let data = self.column(column)?;
+        par_hist1d(edges, data, cond.as_ref().map(|c| &c.masks), exec)
+    }
+
+    /// Parallel counterpart of [`HistogramEngine::hist2d_with_selection`],
+    /// reusing an already chunk-evaluated condition so several axis pairs
+    /// can share one evaluation.
+    #[allow(clippy::too_many_arguments)] // mirrors hist2d_with_selection + exec
+    pub fn hist2d_with_condition_par(
+        &self,
+        x_column: &str,
+        y_column: &str,
+        x_spec: &BinSpec,
+        y_spec: &BinSpec,
+        cond: Option<&EvaluatedCondition>,
+        engine: HistEngine,
+        exec: &ParExec,
+    ) -> Result<Hist2D> {
+        let selection = cond.map(|c| &c.selection);
+        let x_edges = self.resolve_edges(x_column, x_spec, selection, engine)?;
+        let y_edges = self.resolve_edges(y_column, y_spec, selection, engine)?;
+        let xs = self.column(x_column)?;
+        let ys = self.column(y_column)?;
+        if xs.len() != ys.len() {
+            return Err(FastBitError::RowCountMismatch {
+                index_rows: xs.len(),
+                data_rows: ys.len(),
+            });
+        }
+        if let Some(sel) = selection {
+            sel.check_rows(xs.len())?;
+        }
+        par_hist2d(x_edges, y_edges, xs, ys, cond.map(|c| &c.masks), exec)
+    }
+}
+
+/// Chunked 1D binning: each chunk bins its (selected) rows into a private
+/// histogram; partials are merged in chunk order. Counts are exact integer
+/// sums, so the result equals the sequential histogram bin-for-bin.
+fn par_hist1d(
+    edges: BinEdges,
+    data: &[f64],
+    masks: Option<&ChunkMasks>,
+    exec: &ParExec,
+) -> Result<Hist1D> {
+    if let Some(m) = masks {
+        if m.num_rows() != data.len() {
+            return Err(FastBitError::RowCountMismatch {
+                index_rows: m.num_rows(),
+                data_rows: data.len(),
+            });
+        }
+    }
+    let chunk_rows = exec.chunk_rows();
+    let num_chunks = data.len().div_ceil(chunk_rows);
+    let partials = exec.run_chunks(num_chunks, |chunk| {
+        let start = chunk * chunk_rows;
+        let len = chunk_rows.min(data.len() - start);
+        let mut h = Hist1D::new(edges.clone());
+        match masks {
+            None => h.accumulate(&data[start..start + len]),
+            Some(m) => m.mask(chunk).for_each_row(len, |r| h.push(data[start + r])),
+        }
+        Ok(h)
+    })?;
+    let mut out = Hist1D::new(edges);
+    for p in &partials {
+        out.merge_counts(p)?;
+    }
+    Ok(out)
+}
+
+/// Chunked 2D binning; see [`par_hist1d`].
+fn par_hist2d(
+    x_edges: BinEdges,
+    y_edges: BinEdges,
+    xs: &[f64],
+    ys: &[f64],
+    masks: Option<&ChunkMasks>,
+    exec: &ParExec,
+) -> Result<Hist2D> {
+    if let Some(m) = masks {
+        if m.num_rows() != xs.len() {
+            return Err(FastBitError::RowCountMismatch {
+                index_rows: m.num_rows(),
+                data_rows: xs.len(),
+            });
+        }
+    }
+    let chunk_rows = exec.chunk_rows();
+    let num_chunks = xs.len().div_ceil(chunk_rows);
+    let partials = exec.run_chunks(num_chunks, |chunk| {
+        let start = chunk * chunk_rows;
+        let len = chunk_rows.min(xs.len() - start);
+        let mut h = Hist2D::new(x_edges.clone(), y_edges.clone());
+        match masks {
+            None => h.accumulate(&xs[start..start + len], &ys[start..start + len]),
+            Some(m) => m
+                .mask(chunk)
+                .for_each_row(len, |r| h.push(xs[start + r], ys[start + r])),
+        }
+        Ok(h)
+    })?;
+    let mut out = Hist2D::new(x_edges, y_edges);
+    for p in &partials {
+        out.merge_counts(p)?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,5 +613,90 @@ mod tests {
         assert!(engine
             .hist1d("nope", &BinSpec::Uniform(8), None, HistEngine::Custom)
             .is_err());
+    }
+
+    #[test]
+    fn hist1d_par_matches_sequential_bin_for_bin() {
+        let p = provider(7000);
+        let engine = HistogramEngine::new(&p);
+        let cond = QueryExpr::pred("y", ValueRange::between(-30.0, 30.0));
+        for exec in [
+            ParExec::new(1, 512),
+            ParExec::new(4, 512),
+            ParExec::new(4, 7001),
+        ] {
+            for (spec, condition) in [
+                (BinSpec::Uniform(64), None),
+                (BinSpec::Uniform(64), Some(&cond)),
+                (BinSpec::Adaptive(32), Some(&cond)),
+            ] {
+                for eng in [HistEngine::FastBit, HistEngine::Custom] {
+                    let seq = engine.hist1d("px", &spec, condition, eng).unwrap();
+                    let par = engine
+                        .hist1d_par("px", &spec, condition, eng, &exec)
+                        .unwrap();
+                    assert_eq!(par, seq, "{spec:?} {eng:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hist1d_par_hits_the_pure_index_fast_path() {
+        let p = provider(4000);
+        let engine = HistogramEngine::new(&p);
+        let idx_edges = p.indexes["px"].edges().clone();
+        let exec = ParExec::new(2, 256);
+        let par = engine
+            .hist1d_par(
+                "px",
+                &BinSpec::Edges(idx_edges.clone()),
+                None,
+                HistEngine::FastBit,
+                &exec,
+            )
+            .unwrap();
+        let seq = engine
+            .hist1d("px", &BinSpec::Edges(idx_edges), None, HistEngine::FastBit)
+            .unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn hist2d_par_matches_sequential_bin_for_bin() {
+        let p = provider(5000);
+        let engine = HistogramEngine::new(&p);
+        let cond = QueryExpr::pred("px", ValueRange::gt(5e10));
+        let exec = ParExec::new(3, 333);
+        let evaluated = engine.evaluate_condition_chunked(&cond, &exec).unwrap();
+        let spec = BinSpec::Uniform(48);
+        let seq_sel = engine
+            .evaluate_condition(&cond, HistEngine::FastBit)
+            .unwrap();
+        assert_eq!(evaluated.selection.to_rows(), seq_sel.to_rows());
+        let par = engine
+            .hist2d_with_condition_par(
+                "x",
+                "px",
+                &spec,
+                &spec,
+                Some(&evaluated),
+                HistEngine::FastBit,
+                &exec,
+            )
+            .unwrap();
+        let seq = engine
+            .hist2d_with_selection("x", "px", &spec, &spec, Some(&seq_sel), HistEngine::FastBit)
+            .unwrap();
+        assert_eq!(par.counts(), seq.counts());
+        assert_eq!(par.out_of_range(), seq.out_of_range());
+        // Unconditional as well.
+        let par_u = engine
+            .hist2d_with_condition_par("x", "px", &spec, &spec, None, HistEngine::Custom, &exec)
+            .unwrap();
+        let seq_u = engine
+            .hist2d_with_selection("x", "px", &spec, &spec, None, HistEngine::Custom)
+            .unwrap();
+        assert_eq!(par_u.counts(), seq_u.counts());
     }
 }

@@ -23,6 +23,12 @@ pub struct BitmapIndex {
     num_rows: usize,
     /// Rows whose value fell outside the binned range (NaN or out of bounds).
     unbinned: Vec<u32>,
+    /// Whether any unbinned row holds a non-NaN value (±∞ or an out-of-span
+    /// finite value). Only those can ever satisfy a range predicate, so a
+    /// NaN-only unbinned set never forces a candidate check. Conservatively
+    /// `true` for indexes reassembled from persisted parts, where the raw
+    /// values are not available to inspect.
+    unbinned_matchable: bool,
 }
 
 impl BitmapIndex {
@@ -37,10 +43,14 @@ impl BitmapIndex {
         let nbins = edges.num_bins();
         let mut rows_per_bin: Vec<Vec<u64>> = vec![Vec::new(); nbins];
         let mut unbinned = Vec::new();
+        let mut unbinned_matchable = false;
         for (row, &v) in data.iter().enumerate() {
             match edges.locate(v) {
                 Some(bin) => rows_per_bin[bin].push(row as u64),
-                None => unbinned.push(row as u32),
+                None => {
+                    unbinned.push(row as u32);
+                    unbinned_matchable |= !v.is_nan();
+                }
             }
         }
         let n = data.len() as u64;
@@ -53,6 +63,7 @@ impl BitmapIndex {
             bitmaps,
             num_rows: data.len(),
             unbinned,
+            unbinned_matchable,
         })
     }
 
@@ -81,11 +92,13 @@ impl BitmapIndex {
                 });
             }
         }
+        let unbinned_matchable = !unbinned.is_empty();
         Ok(Self {
             edges,
             bitmaps,
             num_rows,
             unbinned,
+            unbinned_matchable,
         })
     }
 
@@ -154,10 +167,31 @@ impl BitmapIndex {
         (full, partial)
     }
 
+    /// Whether `range` could match a value that fell outside the binned
+    /// range. Unbinned rows hold NaN (never matches) or values below/above
+    /// the boundary span (e.g. ±∞ under data-derived edges); those can only
+    /// match when the range extends past the corresponding outer boundary.
+    fn range_may_match_unbinned(&self, range: &ValueRange) -> bool {
+        if !self.unbinned_matchable {
+            return false;
+        }
+        let below = match range.min {
+            None => true,
+            Some(m) => m < self.edges.lo(),
+        };
+        let above = match range.max {
+            None => true,
+            Some(m) => m > self.edges.hi(),
+        };
+        below || above
+    }
+
     /// Evaluate a range condition using only the index, without access to the
     /// raw column. Returns `(hits, candidates)`: `hits` are rows guaranteed
-    /// to satisfy the condition; `candidates` are rows in boundary bins that
-    /// may or may not satisfy it.
+    /// to satisfy the condition; `candidates` are rows that may or may not
+    /// satisfy it — boundary-bin rows, plus the unbinned rows whenever the
+    /// range reaches beyond the binned span (the differential suite caught
+    /// ±∞ rows being silently dropped here).
     pub fn evaluate_index_only(&self, range: &ValueRange) -> Result<(Selection, Selection)> {
         let (full, partial) = self.classify_bins(range);
         let n = self.num_rows as u64;
@@ -168,6 +202,10 @@ impl BitmapIndex {
         let mut candidates = Wah::zeros(n);
         for i in partial {
             candidates = candidates.or(&self.bitmaps[i])?;
+        }
+        if !self.unbinned.is_empty() && self.range_may_match_unbinned(range) {
+            let unbinned = Wah::from_sorted_indices(n, self.unbinned.iter().map(|&r| r as u64));
+            candidates = candidates.or(&unbinned)?;
         }
         Ok((Selection::from_wah(hits), Selection::from_wah(candidates)))
     }
@@ -195,10 +233,11 @@ impl BitmapIndex {
 
     /// True when the range endpoints coincide with bin boundaries, i.e. the
     /// query can be answered exactly from the index alone (the reason the
-    /// paper builds indexes with low-precision bin boundaries).
+    /// paper builds indexes with low-precision bin boundaries). A range that
+    /// could match unbinned (out-of-span) rows needs the raw column too.
     pub fn answers_exactly(&self, range: &ValueRange) -> bool {
         let (_, partial) = self.classify_bins(range);
-        partial.is_empty()
+        partial.is_empty() && (self.unbinned.is_empty() || !self.range_may_match_unbinned(range))
     }
 }
 
@@ -380,6 +419,50 @@ mod tests {
         let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 16 }).unwrap();
         let got = idx.evaluate(&ValueRange::gt(1e9), &data).unwrap();
         assert!(got.is_none_selected());
+    }
+
+    #[test]
+    fn unbinned_infinities_are_candidate_checked() {
+        // Regression: ±∞ rows fall outside data-derived edges and land in
+        // the unbinned list; range queries that extend past the boundary
+        // span must still find them (the par differential suite caught the
+        // indexed path silently dropping them).
+        let mut data = sample_column(2_000, 8);
+        data[3] = f64::INFINITY;
+        data[7] = f64::NEG_INFINITY;
+        data[11] = f64::NAN;
+        let idx = BitmapIndex::build(&data, &Binning::EqualWidth { bins: 32 }).unwrap();
+        assert_eq!(idx.unbinned_rows(), &[3, 7, 11]);
+        for range in [
+            ValueRange::gt(50.0),             // must include row 3 (+inf)
+            ValueRange::lt(-50.0),            // must include row 7 (-inf)
+            ValueRange::all(),                // both, never the NaN row
+            ValueRange::between(-10.0, 10.0), // neither
+        ] {
+            let from_index = idx.evaluate(&range, &data).unwrap();
+            let from_scan: Vec<usize> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| range.contains(v))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(from_index.to_rows(), from_scan, "range {range:?}");
+        }
+        // Unbounded ranges can match unbinned rows → not answerable from the
+        // index alone; a range fully inside the span still is (when aligned).
+        assert!(!idx.answers_exactly(&ValueRange::all()));
+        let (lo, hi) = (idx.edges().lo(), idx.edges().hi());
+        assert!(idx.answers_exactly(&ValueRange::between_inclusive(lo, hi)));
+
+        // A NaN-only unbinned set can never match, so it keeps the
+        // pure-index paths: no candidate check even for unbounded ranges.
+        let mut nan_only = sample_column(500, 9);
+        nan_only[42] = f64::NAN;
+        let idx = BitmapIndex::build(&nan_only, &Binning::EqualWidth { bins: 8 }).unwrap();
+        assert_eq!(idx.unbinned_rows(), &[42]);
+        assert!(idx.answers_exactly(&ValueRange::all()));
+        let (_, candidates) = idx.evaluate_index_only(&ValueRange::all()).unwrap();
+        assert!(candidates.is_none_selected());
     }
 
     #[test]

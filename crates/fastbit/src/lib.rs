@@ -23,6 +23,11 @@
 //!   both index-accelerated and scan-based.
 //! * [`scan`] — the "Custom" sequential-scan baseline used throughout the
 //!   paper's evaluation (Figures 11–17).
+//! * [`par`] — the chunked parallel evaluation engine: fixed-size row chunks
+//!   carrying zone maps (min/max/NaN count), a std-only work-queue thread
+//!   pool, and per-chunk query evaluation that skips chunks the zone map
+//!   proves empty or full. Deterministic: the selected row set is identical
+//!   to sequential evaluation for every thread count and chunk size.
 
 #![deny(missing_docs)]
 
@@ -30,6 +35,7 @@ pub mod bitvec;
 pub mod error;
 pub mod hist;
 pub mod index;
+pub mod par;
 pub mod query;
 pub mod scan;
 pub mod selection;
@@ -39,6 +45,7 @@ pub use bitvec::BitVec;
 pub use error::{FastBitError, Result};
 pub use hist::{BinSpec, HistEngine, HistogramEngine};
 pub use index::{BitmapIndex, IdIndex};
+pub use par::{ChunkMasks, ParExec, ParStatsSnapshot, Zone, ZoneMaps};
 pub use query::{
     evaluate as evaluate_query, evaluate_with_strategy, parse_query, ColumnProvider, ExecStrategy,
     Predicate, QueryExpr, ValueRange,

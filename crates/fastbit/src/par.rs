@@ -1,0 +1,825 @@
+//! Chunked parallel query evaluation with zone-map pruning.
+//!
+//! The paper's headline numbers come from *parallel* index evaluation and
+//! histogram computation; this module supplies the intra-query half of that
+//! story. Columns are partitioned into fixed-size row chunks, each carrying a
+//! [`Zone`] (min / max / NaN count). A compound [`QueryExpr`] is evaluated
+//! chunk-by-chunk over a small work-queue thread pool
+//! (`std::thread::scope`-based, no external dependencies):
+//!
+//! * a chunk whose zone proves the predicate can match **nothing** is pruned
+//!   to an empty mask without touching a single row;
+//! * a chunk whose zone proves **every** row matches (no NaNs, value interval
+//!   fully inside the query range) is pruned to a full mask;
+//! * only the remaining chunks are scanned row-by-row.
+//!
+//! Per-chunk masks are merged *in chunk order* into one WAH-compressed
+//! [`Selection`], so the selected row set is a pure function of the data and
+//! the query — independent of thread count, chunk size, and pruning. The
+//! differential suites in `tests/par_differential.rs` and
+//! `tests/zone_map_adversarial.rs` pin exactly that: parallel evaluation can
+//! never silently mean "different answers".
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::error::{FastBitError, Result};
+use crate::query::{ColumnProvider, QueryExpr, ValueRange};
+use crate::selection::Selection;
+use crate::wah::WahBuilder;
+
+/// Default number of rows per evaluation chunk. Small enough that zone-map
+/// pruning has real resolution on clustered data, large enough that the
+/// per-chunk bookkeeping (a few hundred mask words) is noise.
+pub const DEFAULT_CHUNK_ROWS: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Zone maps
+// ---------------------------------------------------------------------------
+
+/// Summary statistics of one chunk of one column: the minimum and maximum
+/// over the non-NaN values (±∞ participate) and the number of NaNs.
+///
+/// A chunk containing only NaNs has `min = +∞ > max = -∞`; every interval
+/// test against such an inverted interval is vacuously false, which is
+/// exactly the right answer because NaN never satisfies a range predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zone {
+    /// Minimum non-NaN value (`+∞` when the chunk is all NaN).
+    pub min: f64,
+    /// Maximum non-NaN value (`-∞` when the chunk is all NaN).
+    pub max: f64,
+    /// Number of NaN values in the chunk.
+    pub nan_count: u32,
+    /// Number of rows in the chunk.
+    pub len: u32,
+}
+
+/// What a zone proves about a range predicate over its chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoneVerdict {
+    /// No row of the chunk can satisfy the range.
+    Empty,
+    /// Every row of the chunk satisfies the range.
+    Full,
+    /// The chunk must be scanned row-by-row.
+    Scan,
+}
+
+impl Zone {
+    /// Compute the zone of a value slice.
+    pub fn from_slice(values: &[f64]) -> Zone {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut nan_count = 0u32;
+        for &v in values {
+            if v.is_nan() {
+                nan_count += 1;
+            } else {
+                if v < min {
+                    min = v;
+                }
+                if v > max {
+                    max = v;
+                }
+            }
+        }
+        Zone {
+            min,
+            max,
+            nan_count,
+            len: values.len() as u32,
+        }
+    }
+
+    /// True when the chunk holds no non-NaN value.
+    pub fn all_nan(&self) -> bool {
+        self.nan_count as usize == self.len as usize
+    }
+
+    /// Classify `range` against this zone.
+    ///
+    /// `Full` requires a NaN-free chunk whose closed value interval lies
+    /// entirely inside the range; `Empty` requires that the interval not
+    /// intersect the range at all (an all-NaN chunk has an inverted, hence
+    /// empty, interval and is always `Empty`). Everything else must scan.
+    pub fn classify(&self, range: &ValueRange) -> ZoneVerdict {
+        if self.all_nan() || !range.overlaps_interval(self.min, self.max) {
+            return ZoneVerdict::Empty;
+        }
+        if self.nan_count == 0 && range.contains_interval(self.min, self.max) {
+            return ZoneVerdict::Full;
+        }
+        ZoneVerdict::Scan
+    }
+}
+
+/// Per-chunk zones of one column at one chunk size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMaps {
+    chunk_rows: usize,
+    num_rows: usize,
+    zones: Vec<Zone>,
+}
+
+impl ZoneMaps {
+    /// Build zone maps over `data` with `chunk_rows` rows per chunk (the
+    /// final chunk may be shorter). One sequential pass; columns are built
+    /// once and cached by their provider, not per query.
+    pub fn build(data: &[f64], chunk_rows: usize) -> ZoneMaps {
+        let chunk_rows = chunk_rows.max(1);
+        let zones = data.chunks(chunk_rows).map(Zone::from_slice).collect();
+        ZoneMaps {
+            chunk_rows,
+            num_rows: data.len(),
+            zones,
+        }
+    }
+
+    /// Rows per chunk this map was built with.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Total rows covered.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The zone of chunk `i`.
+    pub fn zone(&self, i: usize) -> &Zone {
+        &self.zones[i]
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.zones.len() * std::mem::size_of::<Zone>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution configuration and statistics
+// ---------------------------------------------------------------------------
+
+/// Lifetime counters of a [`ParExec`]: how many evaluations ran and how much
+/// work the zone maps saved. Exposed by the server's `STATS` verb.
+#[derive(Debug, Default)]
+pub struct ParStats {
+    queries: AtomicU64,
+    chunks_pruned_empty: AtomicU64,
+    chunks_pruned_full: AtomicU64,
+    chunks_scanned: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`ParStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParStatsSnapshot {
+    /// Chunked query evaluations performed.
+    pub queries: u64,
+    /// Predicate-chunks proven empty by a zone map (no rows touched).
+    pub chunks_pruned_empty: u64,
+    /// Predicate-chunks proven full by a zone map (no rows touched).
+    pub chunks_pruned_full: u64,
+    /// Predicate-chunks that had to be scanned row-by-row.
+    pub chunks_scanned: u64,
+}
+
+impl ParStats {
+    fn snapshot(&self) -> ParStatsSnapshot {
+        ParStatsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            chunks_pruned_empty: self.chunks_pruned_empty.load(Ordering::Relaxed),
+            chunks_pruned_full: self.chunks_pruned_full.load(Ordering::Relaxed),
+            chunks_scanned: self.chunks_scanned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Configuration of the chunked parallel evaluator: thread count, chunk size
+/// and whether zone-map pruning is enabled (disabling it exists for the
+/// prune-vs-scan differential tests — results must be identical either way).
+#[derive(Debug, Clone)]
+pub struct ParExec {
+    threads: usize,
+    chunk_rows: usize,
+    pruning: bool,
+    stats: Arc<ParStats>,
+}
+
+impl Default for ParExec {
+    fn default() -> Self {
+        Self::new(1, DEFAULT_CHUNK_ROWS)
+    }
+}
+
+impl ParExec {
+    /// An executor with `threads` workers and `chunk_rows` rows per chunk
+    /// (both clamped to at least 1).
+    pub fn new(threads: usize, chunk_rows: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            chunk_rows: chunk_rows.max(1),
+            pruning: true,
+            stats: Arc::new(ParStats::default()),
+        }
+    }
+
+    /// A single-threaded executor (chunked algorithm, run inline).
+    pub fn sequential() -> Self {
+        Self::new(1, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Disable zone-map pruning: every chunk is scanned. The answer must be
+    /// byte-identical; only the work changes.
+    pub fn without_pruning(mut self) -> Self {
+        self.pruning = false;
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Rows per evaluation chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Whether zone-map pruning is enabled.
+    pub fn pruning(&self) -> bool {
+        self.pruning
+    }
+
+    /// Snapshot of the lifetime counters.
+    pub fn stats(&self) -> ParStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Run `work(chunk_index)` for every chunk in `0..num_chunks` over the
+    /// work-queue pool and return the results in chunk order. With one
+    /// thread the work runs inline on the caller's thread.
+    pub fn run_chunks<T, F>(&self, num_chunks: usize, work: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        let threads = self.threads.min(num_chunks.max(1));
+        if threads <= 1 {
+            return (0..num_chunks).map(work).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let work = &work;
+        let next = &next;
+        let per_thread = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || -> Result<Vec<(usize, T)>> {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= num_chunks {
+                                return Ok(out);
+                            }
+                            out.push((i, work(i)?));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(FastBitError::Execution("chunk worker panicked".into()))
+                    })
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut tagged = Vec::with_capacity(num_chunks);
+        for r in per_thread {
+            tagged.extend(r?);
+        }
+        tagged.sort_by_key(|(i, _)| *i);
+        Ok(tagged.into_iter().map(|(_, v)| v).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk masks
+// ---------------------------------------------------------------------------
+
+/// The evaluation result of one chunk: which of its rows match.
+///
+/// `Empty`/`Full` are the pruned forms; `Bits` is an explicit little-endian
+/// word bitmap over the chunk's rows with the padding bits beyond the chunk
+/// length held at zero.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mask {
+    /// No row of the chunk matches.
+    Empty,
+    /// Every row of the chunk matches.
+    Full,
+    /// Explicit per-row bitmap (padding bits zero).
+    Bits(Vec<u64>),
+}
+
+fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+#[cfg(test)]
+fn full_words(len: usize) -> Vec<u64> {
+    let mut words = vec![u64::MAX; words_for(len)];
+    mask_padding(&mut words, len);
+    words
+}
+
+/// Zero the bits at positions `>= len` of the final word.
+fn mask_padding(words: &mut [u64], len: usize) {
+    let tail = len % 64;
+    if tail != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
+}
+
+impl Mask {
+    /// Number of set rows given the chunk length.
+    pub fn count(&self, len: usize) -> usize {
+        match self {
+            Mask::Empty => 0,
+            Mask::Full => len,
+            Mask::Bits(words) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+
+    /// Collapse an explicit bitmap that turned out all-zero or all-one.
+    fn normalized(self, len: usize) -> Mask {
+        match &self {
+            Mask::Bits(_) => {
+                let ones = self.count(len);
+                if ones == 0 {
+                    Mask::Empty
+                } else if ones == len {
+                    Mask::Full
+                } else {
+                    self
+                }
+            }
+            _ => self,
+        }
+    }
+
+    /// Intersection of two chunk masks.
+    pub fn and(self, other: Mask, len: usize) -> Mask {
+        match (self, other) {
+            (Mask::Empty, _) | (_, Mask::Empty) => Mask::Empty,
+            (Mask::Full, m) | (m, Mask::Full) => m,
+            (Mask::Bits(mut a), Mask::Bits(b)) => {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x &= *y;
+                }
+                Mask::Bits(a).normalized(len)
+            }
+        }
+    }
+
+    /// Union of two chunk masks.
+    pub fn or(self, other: Mask, len: usize) -> Mask {
+        match (self, other) {
+            (Mask::Full, _) | (_, Mask::Full) => Mask::Full,
+            (Mask::Empty, m) | (m, Mask::Empty) => m,
+            (Mask::Bits(mut a), Mask::Bits(b)) => {
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x |= *y;
+                }
+                Mask::Bits(a).normalized(len)
+            }
+        }
+    }
+
+    /// Complement over the chunk's rows.
+    pub fn not(self, len: usize) -> Mask {
+        match self {
+            Mask::Empty => Mask::Full,
+            Mask::Full => Mask::Empty,
+            Mask::Bits(mut words) => {
+                for w in words.iter_mut() {
+                    *w = !*w;
+                }
+                mask_padding(&mut words, len);
+                Mask::Bits(words)
+            }
+        }
+    }
+
+    /// Call `f` with every selected local row index, in increasing order.
+    pub fn for_each_row(&self, len: usize, mut f: impl FnMut(usize)) {
+        match self {
+            Mask::Empty => {}
+            Mask::Full => {
+                for i in 0..len {
+                    f(i);
+                }
+            }
+            Mask::Bits(words) => {
+                for (wi, &word) in words.iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        let bit = w.trailing_zeros() as usize;
+                        f(wi * 64 + bit);
+                        w &= w - 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The chunked evaluation result of a whole query: one [`Mask`] per chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMasks {
+    chunk_rows: usize,
+    num_rows: usize,
+    masks: Vec<Mask>,
+}
+
+impl ChunkMasks {
+    /// Rows per chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Total rows covered.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of chunks.
+    pub fn num_chunks(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// The mask of chunk `i`.
+    pub fn mask(&self, i: usize) -> &Mask {
+        &self.masks[i]
+    }
+
+    /// First row and length of chunk `i`.
+    pub fn chunk_span(&self, i: usize) -> (usize, usize) {
+        let start = i * self.chunk_rows;
+        (start, self.chunk_rows.min(self.num_rows - start))
+    }
+
+    /// Number of selected rows across all chunks.
+    pub fn count(&self) -> u64 {
+        (0..self.num_chunks())
+            .map(|i| self.masks[i].count(self.chunk_span(i).1) as u64)
+            .sum()
+    }
+
+    /// Merge the per-chunk masks, in chunk order, into one WAH-compressed
+    /// selection. The output depends only on the logical row set.
+    pub fn to_selection(&self) -> Selection {
+        let mut builder = WahBuilder::new();
+        for i in 0..self.num_chunks() {
+            let (_, len) = self.chunk_span(i);
+            match &self.masks[i] {
+                Mask::Empty => builder.push_run(false, len as u64),
+                Mask::Full => builder.push_run(true, len as u64),
+                Mask::Bits(_) => {
+                    let mut next = 0usize;
+                    self.masks[i].for_each_row(len, |row| {
+                        builder.push_run(false, (row - next) as u64);
+                        builder.push_bit(true);
+                        next = row + 1;
+                    });
+                    builder.push_run(false, (len - next) as u64);
+                }
+            }
+        }
+        Selection::from_wah(builder.finish())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate `expr` chunk-by-chunk over `exec`'s pool and return the per-chunk
+/// masks. Zone maps are taken from the provider when it has them at this
+/// chunk size (see [`ColumnProvider::zone_maps`]) and computed on the fly
+/// from each chunk's slice otherwise.
+pub fn evaluate_chunk_masks(
+    expr: &QueryExpr,
+    provider: &(impl ColumnProvider + Sync),
+    exec: &ParExec,
+) -> Result<ChunkMasks> {
+    let num_rows = provider.num_rows();
+    let chunk_rows = exec.chunk_rows();
+    // Resolve every referenced column once, up front: the error surface
+    // matches sequential evaluation (which reports the first unknown column)
+    // and chunk workers then operate on plain slices.
+    let mut columns: BTreeMap<String, &[f64]> = BTreeMap::new();
+    let mut zones: BTreeMap<String, Option<Arc<ZoneMaps>>> = BTreeMap::new();
+    for name in expr.columns() {
+        let data = provider
+            .column(&name)
+            .ok_or_else(|| FastBitError::UnknownColumn(name.clone()))?;
+        if data.len() != num_rows {
+            return Err(FastBitError::RowCountMismatch {
+                index_rows: num_rows,
+                data_rows: data.len(),
+            });
+        }
+        zones.insert(
+            name.clone(),
+            provider
+                .zone_maps(&name, chunk_rows)
+                .filter(|z| z.chunk_rows() == chunk_rows && z.num_rows() == num_rows),
+        );
+        columns.insert(name, data);
+    }
+    let num_chunks = num_rows.div_ceil(chunk_rows);
+    exec.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let masks = exec.run_chunks(num_chunks, |chunk| {
+        let start = chunk * chunk_rows;
+        let len = chunk_rows.min(num_rows - start);
+        eval_expr_chunk(expr, &columns, &zones, exec, chunk, start, len)
+    })?;
+    Ok(ChunkMasks {
+        chunk_rows,
+        num_rows,
+        masks,
+    })
+}
+
+/// Evaluate `expr` chunk-by-chunk and merge the result into one
+/// [`Selection`]. The selected row set is identical to sequential evaluation
+/// ([`crate::query::evaluate_with_strategy`]) for every thread count, chunk
+/// size, and pruning setting.
+pub fn evaluate_chunked(
+    expr: &QueryExpr,
+    provider: &(impl ColumnProvider + Sync),
+    exec: &ParExec,
+) -> Result<Selection> {
+    Ok(evaluate_chunk_masks(expr, provider, exec)?.to_selection())
+}
+
+fn eval_expr_chunk(
+    expr: &QueryExpr,
+    columns: &BTreeMap<String, &[f64]>,
+    zones: &BTreeMap<String, Option<Arc<ZoneMaps>>>,
+    exec: &ParExec,
+    chunk: usize,
+    start: usize,
+    len: usize,
+) -> Result<Mask> {
+    match expr {
+        QueryExpr::Pred(p) => {
+            let data = columns
+                .get(p.column.as_str())
+                .ok_or_else(|| FastBitError::UnknownColumn(p.column.clone()))?;
+            let slice = &data[start..start + len];
+            if exec.pruning() {
+                let zone = match zones.get(p.column.as_str()) {
+                    Some(Some(maps)) => *maps.zone(chunk),
+                    _ => Zone::from_slice(slice),
+                };
+                match zone.classify(&p.range) {
+                    ZoneVerdict::Empty => {
+                        exec.stats
+                            .chunks_pruned_empty
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(Mask::Empty);
+                    }
+                    ZoneVerdict::Full => {
+                        exec.stats
+                            .chunks_pruned_full
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(Mask::Full);
+                    }
+                    ZoneVerdict::Scan => {}
+                }
+            }
+            exec.stats.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+            let mut words = vec![0u64; words_for(len)];
+            for (i, &v) in slice.iter().enumerate() {
+                if p.range.contains(v) {
+                    words[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            Ok(Mask::Bits(words).normalized(len))
+        }
+        // And/Or evaluate every child (no short-circuit) so that errors —
+        // e.g. an unknown column in a later operand — surface exactly as in
+        // sequential evaluation.
+        QueryExpr::And(children) => {
+            let mut acc: Option<Mask> = None;
+            for child in children {
+                let m = eval_expr_chunk(child, columns, zones, exec, chunk, start, len)?;
+                acc = Some(match acc {
+                    None => m,
+                    Some(prev) => prev.and(m, len),
+                });
+            }
+            Ok(acc.unwrap_or(Mask::Full))
+        }
+        QueryExpr::Or(children) => {
+            let mut acc: Option<Mask> = None;
+            for child in children {
+                let m = eval_expr_chunk(child, columns, zones, exec, chunk, start, len)?;
+                acc = Some(match acc {
+                    None => m,
+                    Some(prev) => prev.or(m, len),
+                });
+            }
+            Ok(acc.unwrap_or(Mask::Empty))
+        }
+        QueryExpr::Not(inner) => {
+            Ok(eval_expr_chunk(inner, columns, zones, exec, chunk, start, len)?.not(len))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{evaluate_with_strategy, ExecStrategy, Predicate};
+    use crate::scan;
+    use std::collections::HashMap;
+
+    struct MemProvider {
+        columns: HashMap<String, Vec<f64>>,
+        rows: usize,
+    }
+
+    impl MemProvider {
+        fn new(columns: Vec<(&str, Vec<f64>)>) -> Self {
+            let rows = columns[0].1.len();
+            Self {
+                columns: columns
+                    .into_iter()
+                    .map(|(n, d)| (n.to_string(), d))
+                    .collect(),
+                rows,
+            }
+        }
+    }
+
+    impl ColumnProvider for MemProvider {
+        fn num_rows(&self) -> usize {
+            self.rows
+        }
+        fn column(&self, name: &str) -> Option<&[f64]> {
+            self.columns.get(name).map(|v| v.as_slice())
+        }
+        fn index(&self, _name: &str) -> Option<&crate::index::BitmapIndex> {
+            None
+        }
+    }
+
+    fn ramp(n: usize) -> MemProvider {
+        MemProvider::new(vec![("x", (0..n).map(|i| i as f64).collect::<Vec<f64>>())])
+    }
+
+    #[test]
+    fn zone_classify_covers_all_cases() {
+        let z = Zone::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(z.classify(&ValueRange::gt(3.0)), ZoneVerdict::Empty);
+        assert_eq!(z.classify(&ValueRange::ge(1.0)), ZoneVerdict::Full);
+        assert_eq!(z.classify(&ValueRange::gt(1.0)), ZoneVerdict::Scan);
+        assert_eq!(z.classify(&ValueRange::lt(0.0)), ZoneVerdict::Empty);
+        let nanz = Zone::from_slice(&[f64::NAN, f64::NAN]);
+        assert!(nanz.all_nan());
+        assert_eq!(nanz.classify(&ValueRange::all()), ZoneVerdict::Empty);
+        let mixed = Zone::from_slice(&[1.0, f64::NAN]);
+        // The NaN row forces a scan even though [1,1] ⊆ range.
+        assert_eq!(mixed.classify(&ValueRange::ge(0.0)), ZoneVerdict::Scan);
+    }
+
+    #[test]
+    fn zone_maps_partition_the_column() {
+        let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let maps = ZoneMaps::build(&data, 4);
+        assert_eq!(maps.num_chunks(), 3);
+        assert_eq!(maps.zone(0).min, 0.0);
+        assert_eq!(maps.zone(0).max, 3.0);
+        assert_eq!(maps.zone(2).len, 2);
+        assert!(maps.size_in_bytes() > 0);
+    }
+
+    #[test]
+    fn mask_algebra_normalizes_and_iterates() {
+        let len = 70;
+        let a = Mask::Bits(full_words(len));
+        assert_eq!(a.clone().normalized(len), Mask::Full);
+        assert_eq!(Mask::Full.and(Mask::Empty, len), Mask::Empty);
+        assert_eq!(Mask::Empty.or(Mask::Full, len), Mask::Full);
+        assert_eq!(Mask::Full.not(len), Mask::Empty);
+        let mut words = vec![0u64; 2];
+        words[0] |= 1 << 3;
+        words[1] |= 1 << 5; // row 69
+        let m = Mask::Bits(words);
+        let mut rows = Vec::new();
+        m.for_each_row(len, |r| rows.push(r));
+        assert_eq!(rows, vec![3, 69]);
+        let inv = m.not(len);
+        assert_eq!(inv.count(len), 68);
+    }
+
+    #[test]
+    fn chunked_matches_scan_on_simple_ramp() {
+        let p = ramp(1000);
+        let expr = QueryExpr::Pred(Predicate::new("x", ValueRange::between(100.0, 900.0)));
+        let oracle = scan::scan_query(&expr, &p).unwrap();
+        for chunk_rows in [1usize, 31, 64, 1000, 5000] {
+            for threads in [1usize, 2, 8] {
+                let exec = ParExec::new(threads, chunk_rows);
+                let got = evaluate_chunked(&expr, &p, &exec).unwrap();
+                assert_eq!(got.to_rows(), oracle.to_rows(), "{chunk_rows}/{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_result_is_independent_of_threads_and_pruning() {
+        let p = ramp(10_000);
+        let expr = QueryExpr::pred("x", ValueRange::lt(2500.0)).or(QueryExpr::pred(
+            "x",
+            ValueRange::ge(7500.0),
+        )
+        .not());
+        let reference = evaluate_chunked(&expr, &p, &ParExec::new(1, 512)).unwrap();
+        for exec in [
+            ParExec::new(4, 512),
+            ParExec::new(8, 512),
+            ParExec::new(4, 512).without_pruning(),
+        ] {
+            let got = evaluate_chunked(&expr, &p, &exec).unwrap();
+            // Same chunk size ⇒ the WAH words are bit-for-bit identical.
+            assert_eq!(got, reference);
+        }
+    }
+
+    #[test]
+    fn pruning_counters_move() {
+        let p = ramp(10_000);
+        let exec = ParExec::new(2, 100);
+        // Matches everything: every chunk is a full-prune.
+        evaluate_chunked(&QueryExpr::pred("x", ValueRange::ge(0.0)), &p, &exec).unwrap();
+        // Matches nothing: every chunk is an empty-prune.
+        evaluate_chunked(&QueryExpr::pred("x", ValueRange::gt(1e12)), &p, &exec).unwrap();
+        let s = exec.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.chunks_pruned_full, 100);
+        assert_eq!(s.chunks_pruned_empty, 100);
+        assert_eq!(s.chunks_scanned, 0);
+    }
+
+    #[test]
+    fn unknown_column_errors_even_in_later_operands() {
+        let p = ramp(100);
+        let exec = ParExec::new(2, 10);
+        let expr = QueryExpr::pred("x", ValueRange::gt(1e12))
+            .and(QueryExpr::pred("nope", ValueRange::gt(0.0)));
+        assert!(matches!(
+            evaluate_chunked(&expr, &p, &exec),
+            Err(FastBitError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_yields_empty_selection() {
+        let p = MemProvider::new(vec![("x", Vec::new())]);
+        let expr = QueryExpr::pred("x", ValueRange::gt(0.0));
+        let got = evaluate_chunked(&expr, &p, &ParExec::new(4, 16)).unwrap();
+        assert_eq!(got.num_rows(), 0);
+        assert!(got.is_none_selected());
+    }
+
+    #[test]
+    fn matches_sequential_evaluator_with_nans_and_infs() {
+        let mut x: Vec<f64> = (0..500).map(|i| (i as f64) - 250.0).collect();
+        x[10] = f64::NAN;
+        x[490] = f64::INFINITY;
+        x[491] = f64::NEG_INFINITY;
+        let p = MemProvider::new(vec![("x", x)]);
+        for expr in [
+            QueryExpr::pred("x", ValueRange::gt(-10.0)),
+            QueryExpr::pred("x", ValueRange::le(0.0)).not(),
+            QueryExpr::pred("x", ValueRange::all()),
+        ] {
+            let oracle = evaluate_with_strategy(&expr, &p, ExecStrategy::ScanOnly).unwrap();
+            let got = evaluate_chunked(&expr, &p, &ParExec::new(3, 37)).unwrap();
+            assert_eq!(got.to_rows(), oracle.to_rows(), "{expr}");
+        }
+    }
+}

@@ -383,6 +383,17 @@ pub trait ColumnProvider {
     fn column(&self, name: &str) -> Option<&[f64]>;
     /// Bitmap index of a column, when one has been built.
     fn index(&self, name: &str) -> Option<&BitmapIndex>;
+    /// Per-chunk zone maps of a column at the given chunk size, when the
+    /// provider keeps them (see [`crate::par::ZoneMaps`]). The chunked
+    /// evaluator falls back to computing zones on the fly when this returns
+    /// `None`, so implementing it is purely an optimization.
+    fn zone_maps(
+        &self,
+        _name: &str,
+        _chunk_rows: usize,
+    ) -> Option<std::sync::Arc<crate::par::ZoneMaps>> {
+        None
+    }
 }
 
 /// How a query should be executed.

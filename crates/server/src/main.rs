@@ -4,6 +4,7 @@
 //! ```text
 //! vdx-server serve --dir DIR [--addr 127.0.0.1:7878] [--workers N]
 //!                  [--cache-mb MB] [--query-cache N] [--nodes N]
+//!                  [--threads N] [--chunk-rows N]
 //! vdx-server query --addr HOST:PORT <verb> [field ...]
 //! vdx-server smoke
 //! vdx-server bench [--clients N] [--rounds N] [--particles N] [--timesteps N]
@@ -38,6 +39,8 @@ fn server_config(args: &[String]) -> ServerConfig {
     ServerConfig {
         workers: parsed_flag(args, "--workers", defaults.workers),
         nodes: parsed_flag(args, "--nodes", defaults.nodes),
+        threads: parsed_flag(args, "--threads", defaults.threads),
+        chunk_rows: parsed_flag(args, "--chunk-rows", defaults.chunk_rows),
         dataset_cache: DatasetCacheConfig {
             max_bytes: parsed_flag(args, "--cache-mb", 256usize) << 20,
             shards: defaults.dataset_cache.shards,
@@ -58,7 +61,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: vdx-server <serve|query|smoke|bench> [options]\n\
-                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N]\n\
+                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N]\n\
                  \x20 query --addr HOST:PORT <verb> [field ...]\n\
                  \x20 smoke\n\
                  \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N]"

@@ -39,6 +39,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Parallel "nodes" used by catalog-wide tracking requests.
     pub nodes: usize,
+    /// Worker threads used *within* one SELECT/REFINE/HIST evaluation by the
+    /// chunked parallel engine (1 = exact legacy sequential path).
+    pub threads: usize,
+    /// Rows per evaluation chunk of the parallel engine.
+    pub chunk_rows: usize,
     /// Execution engine for query evaluation and histograms.
     pub engine: HistEngine,
     /// Budget and sharding of the resident dataset cache.
@@ -52,6 +57,8 @@ impl Default for ServerConfig {
         Self {
             workers: 4,
             nodes: 2,
+            threads: 1,
+            chunk_rows: fastbit::par::DEFAULT_CHUNK_ROWS,
             engine: HistEngine::FastBit,
             dataset_cache: DatasetCacheConfig::default(),
             query_cache_entries: 1024,
@@ -241,7 +248,14 @@ impl ServerState {
     fn stats_reply(&self) -> String {
         let ds = self.datasets.stats();
         let qc = self.queries.stats();
+        let par = self.explorer.par_stats();
         let mut fields = vec![
+            format!("par_threads={}", self.explorer.par_exec().threads()),
+            format!("par_chunk_rows={}", self.explorer.par_exec().chunk_rows()),
+            format!("par_queries={}", par.queries),
+            format!("par_chunks_pruned_empty={}", par.chunks_pruned_empty),
+            format!("par_chunks_pruned_full={}", par.chunks_pruned_full),
+            format!("par_chunks_scanned={}", par.chunks_scanned),
             format!("ds_hits={}", ds.hits),
             format!("ds_misses={}", ds.misses),
             format!("ds_evictions={}", ds.evictions),
@@ -309,6 +323,8 @@ impl Server {
             ExplorerConfig {
                 nodes: config.nodes,
                 engine: config.engine,
+                threads: config.threads,
+                chunk_rows: config.chunk_rows,
                 ..Default::default()
             },
         )
