@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 use crate::dataset::Dataset;
 use crate::error::{DataStoreError, Result};
 use crate::format;
+use crate::store::Store;
 use crate::table::ParticleTable;
 
 /// One timestep known to a catalog.
@@ -36,6 +37,8 @@ pub struct Catalog {
     /// Serialize writers so concurrent `write_timestep` calls from the data
     /// generator cannot interleave entry bookkeeping.
     write_lock: Mutex<()>,
+    /// Optional persistent segment store consulted before raw ingestion.
+    store: Option<Store>,
 }
 
 fn data_file_name(step: usize) -> String {
@@ -59,6 +62,7 @@ impl Catalog {
             dir,
             entries: Vec::new(),
             write_lock: Mutex::new(()),
+            store: None,
         })
     }
 
@@ -92,7 +96,28 @@ impl Catalog {
             dir,
             entries,
             write_lock: Mutex::new(()),
+            store: None,
         })
+    }
+
+    /// Open an existing catalog directory and attach a persistent segment
+    /// store at `store_dir` (created if absent): full-column indexed loads
+    /// check the store before ingesting raw data, and cold loads write their
+    /// segment back so the next process start is warm.
+    pub fn open_with_store(dir: impl Into<PathBuf>, store_dir: impl Into<PathBuf>) -> Result<Self> {
+        let mut catalog = Self::open(dir)?;
+        catalog.store = Some(Store::open(store_dir)?);
+        Ok(catalog)
+    }
+
+    /// Attach a persistent segment store (replacing any previous one).
+    pub fn attach_store(&mut self, store: Store) {
+        self.store = Some(store);
+    }
+
+    /// The attached segment store, when one is configured.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// Directory backing this catalog.
@@ -156,6 +181,11 @@ impl Catalog {
             }
             None => (None, None),
         };
+        // The raw files changed: any persisted segment for this step is now
+        // stale and must never be served again.
+        if let Some(store) = &self.store {
+            store.invalidate(step);
+        }
         self.entries.retain(|e| e.step != step);
         self.entries.push(TimestepEntry {
             step,
@@ -173,6 +203,14 @@ impl Catalog {
     ///   all columns).
     /// * `with_indexes` additionally loads the matching bitmap indexes from
     ///   the `.vdi` sidecar when present.
+    ///
+    /// With a [`Store`] attached, full-column indexed loads consult it
+    /// first: a valid segment is returned directly (columns, indexes,
+    /// identifier index and zone maps, zero rebuilt); on a miss — or a
+    /// corrupt segment, which the atomic re-save below self-heals — the raw
+    /// files are ingested, any missing indexes are built with the store's
+    /// binning, and the result is written back (temp-then-rename) so the
+    /// next process start skips all of that work.
     pub fn load(
         &self,
         step: usize,
@@ -180,8 +218,39 @@ impl Catalog {
         with_indexes: bool,
     ) -> Result<Dataset> {
         let entry = self.entry(step)?;
+        let store = match &self.store {
+            Some(store) if projection.is_none() && with_indexes => store,
+            _ => return self.load_raw(entry, projection, with_indexes),
+        };
+        match store.load(step) {
+            Ok(Some(dataset)) => return Ok(dataset),
+            Ok(None) => {}
+            // A segment exists but failed validation: fall back to the raw
+            // source of truth; the save below atomically replaces it.
+            Err(_) => store.note_miss(),
+        }
+        let mut dataset = self.load_raw(entry, None, true)?;
+        if dataset.indexed_columns().is_empty() {
+            let built = dataset.build_indexes_lenient(store.binning());
+            store.note_indexes_built(built as u64);
+        }
+        if dataset.id_index().is_none() && dataset.table().id_column("id").is_ok() {
+            dataset.build_id_index()?;
+        }
+        // Best-effort write-back: a full disk must not fail the query.
+        store.save(&dataset).ok();
+        Ok(dataset)
+    }
+
+    /// The raw (store-less) load path over `.vdc`/`.vdi`/`.vdj` files.
+    fn load_raw(
+        &self,
+        entry: &TimestepEntry,
+        projection: Option<&[&str]>,
+        with_indexes: bool,
+    ) -> Result<Dataset> {
         let table = format::read_table(&entry.data_path, projection)?;
-        let mut ds = Dataset::from_table(table, step);
+        let mut ds = Dataset::from_table(table, entry.step);
         if with_indexes {
             if let Some(index_path) = &entry.index_path {
                 let indexes = format::read_indexes(index_path, projection)?;
@@ -293,6 +362,88 @@ mod tests {
             .filter(|&&v| v > 5e10)
             .count();
         assert_eq!(sel.count() as usize, expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_backed_loads_warm_up_across_reopens() {
+        let dir = temp_catalog_dir("store_cold_warm");
+        let store_dir = dir.join("store");
+        // No .vdi sidecars: the cold store load must build the indexes.
+        let mut cat = Catalog::create(&dir).unwrap();
+        cat.write_timestep(0, &table(400, 3), None).unwrap();
+        drop(cat);
+
+        let cold = Catalog::open_with_store(&dir, &store_dir).unwrap();
+        let ds = cold.load(0, None, true).unwrap();
+        assert_eq!(
+            ds.indexed_columns(),
+            vec!["px", "x"],
+            "cold load built them"
+        );
+        assert!(ds.id_index().is_some());
+        let cold_rows = ds.query_str("px > 5e10").unwrap().to_rows();
+        let stats = cold.store().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert!(stats.indexes_built >= 2 && stats.bytes_written > 0);
+
+        // A second process start: the segment is there, nothing is rebuilt.
+        let warm = Catalog::open_with_store(&dir, &store_dir).unwrap();
+        let ds = warm.load(0, None, true).unwrap();
+        assert_eq!(ds.indexed_columns(), vec!["px", "x"], "indexes reloaded");
+        assert!(ds.id_index().is_some());
+        assert_eq!(ds.query_str("px > 5e10").unwrap().to_rows(), cold_rows);
+        let stats = warm.store().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
+        assert_eq!((stats.indexes_built, stats.bytes_written), (0, 0));
+
+        // Projection and index-less loads bypass the store untouched.
+        let proj = warm.load(0, Some(&["px"]), true).unwrap();
+        assert_eq!(proj.table().column_names(), vec!["px"]);
+        assert_eq!(warm.store().unwrap().stats().hits, 1);
+
+        // A corrupt segment falls back to raw ingestion and self-heals.
+        let segment = warm.store().unwrap().segment_path(0);
+        let mut bytes = std::fs::read(&segment).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&segment, &bytes).unwrap();
+        let healed = Catalog::open_with_store(&dir, &store_dir).unwrap();
+        let ds = healed.load(0, None, true).unwrap();
+        assert_eq!(ds.query_str("px > 5e10").unwrap().to_rows(), cold_rows);
+        let stats = healed.store().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let reloaded = healed.load(0, None, true).unwrap();
+        assert_eq!(
+            reloaded.query_str("px > 5e10").unwrap().to_rows(),
+            cold_rows
+        );
+        assert_eq!(healed.store().unwrap().stats().hits, 1, "rewritten segment");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewriting_a_timestep_invalidates_its_store_segment() {
+        let dir = temp_catalog_dir("store_invalidate");
+        let mut cat = Catalog::create(&dir).unwrap();
+        cat.write_timestep(0, &table(100, 1), None).unwrap();
+        cat.attach_store(Store::open(dir.join("store")).unwrap());
+        let first = cat.load(0, None, true).unwrap();
+        assert!(cat.store().unwrap().contains(0), "segment written back");
+
+        // Rewriting the raw timestep must drop the now-stale segment, so the
+        // next load serves (and re-persists) the new data.
+        cat.write_timestep(0, &table(250, 2), None).unwrap();
+        assert!(!cat.store().unwrap().contains(0), "stale segment dropped");
+        let second = cat.load(0, None, true).unwrap();
+        assert_eq!(second.num_particles(), 250);
+        assert_ne!(first.num_particles(), second.num_particles());
+        assert!(cat.store().unwrap().contains(0), "fresh segment re-saved");
+        assert_eq!(
+            cat.load(0, None, true).unwrap().num_particles(),
+            250,
+            "the re-saved segment holds the rewritten data"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

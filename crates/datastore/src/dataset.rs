@@ -74,6 +74,23 @@ impl Dataset {
         Ok(())
     }
 
+    /// Build bitmap indexes over every float column, skipping columns whose
+    /// construction fails (empty or degenerate value ranges). Returns the
+    /// number of indexes built. Used by the store's cold-load write-back,
+    /// where one unindexable column must not abort serving the timestep.
+    pub fn build_indexes_lenient(&mut self, binning: &Binning) -> usize {
+        let mut built = 0;
+        for column in self.table.columns() {
+            if let Some(values) = column.data.as_float() {
+                if let Ok(idx) = BitmapIndex::build(values, binning) {
+                    self.indexes.insert(column.name.clone(), idx);
+                    built += 1;
+                }
+            }
+        }
+        built
+    }
+
     /// Attach indexes loaded from a `.vdi` sidecar file.
     pub fn attach_indexes(&mut self, indexes: Vec<(String, BitmapIndex)>) {
         for (name, idx) in indexes {
@@ -104,6 +121,26 @@ impl Dataset {
         let mut names: Vec<&str> = self.indexes.keys().map(String::as_str).collect();
         names.sort_unstable();
         names
+    }
+
+    /// The attached bitmap indexes in name order, without draining them —
+    /// the borrow the persistence layer serializes from.
+    pub fn index_entries(&self) -> Vec<(&str, &BitmapIndex)> {
+        let mut out: Vec<(&str, &BitmapIndex)> = self
+            .indexes
+            .iter()
+            .map(|(n, idx)| (n.as_str(), idx))
+            .collect();
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// Pre-populate the zone-map cache with a persisted map, keyed by its
+    /// own chunk size. Later chunked queries at that chunk size reuse it
+    /// instead of re-scanning the column.
+    pub fn attach_zone_maps(&self, name: impl Into<String>, maps: Arc<ZoneMaps>) {
+        let key = (name.into(), maps.chunk_rows().max(1));
+        self.zone_maps.lock().insert(key, maps);
     }
 
     /// Drain the bitmap indexes for persistence.

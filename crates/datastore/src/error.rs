@@ -25,6 +25,8 @@ pub enum DataStoreError {
     Query(fastbit::FastBitError),
     /// The requested timestep is not present in the catalog.
     UnknownTimestep(usize),
+    /// The persistent `vdx` store rejected a segment file.
+    Store(crate::store::StoreError),
 }
 
 impl fmt::Display for DataStoreError {
@@ -40,6 +42,7 @@ impl fmt::Display for DataStoreError {
             } => write!(f, "column '{column}' has {found} rows, expected {expected}"),
             DataStoreError::Query(e) => write!(f, "query error: {e}"),
             DataStoreError::UnknownTimestep(t) => write!(f, "unknown timestep {t}"),
+            DataStoreError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -55,6 +58,12 @@ impl From<io::Error> for DataStoreError {
 impl From<fastbit::FastBitError> for DataStoreError {
     fn from(e: fastbit::FastBitError) -> Self {
         DataStoreError::Query(e)
+    }
+}
+
+impl From<crate::store::StoreError> for DataStoreError {
+    fn from(e: crate::store::StoreError) -> Self {
+        DataStoreError::Store(e)
     }
 }
 

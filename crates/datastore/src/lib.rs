@@ -20,6 +20,12 @@
 //! * [`cache::DatasetCache`] — a sharded, byte-budgeted LRU cache of loaded
 //!   datasets (columns plus indexes) shared as `Arc<Dataset>` across server
 //!   workers, so repeated queries against hot timesteps never touch disk.
+//! * [`store::Store`] — the persistent `vdx` segment store: whole datasets
+//!   (columns, bitmap indexes, identifier index, zone maps) in one
+//!   checksummed, versioned file per timestep, written atomically
+//!   (temp-then-rename) and validated section-by-section before a `Dataset`
+//!   is constructed, so a warm restart rebuilds zero indexes and hostile
+//!   bytes produce typed errors instead of panics.
 
 #![deny(missing_docs)]
 
@@ -29,6 +35,7 @@ pub mod column;
 pub mod dataset;
 pub mod error;
 pub mod format;
+pub mod store;
 pub mod table;
 
 pub use cache::{DatasetCache, DatasetCacheConfig, DatasetCacheStats};
@@ -36,4 +43,5 @@ pub use catalog::{Catalog, TimestepEntry};
 pub use column::{Column, ColumnData};
 pub use dataset::Dataset;
 pub use error::{DataStoreError, Result};
+pub use store::{Store, StoreError, StoreStats};
 pub use table::{ParticleTable, STANDARD_COLUMNS};

@@ -1,0 +1,105 @@
+//! Golden-file regression test pinning segment format v1.
+//!
+//! A tiny fixture segment is committed under `tests/fixtures/` at the
+//! repository root. The writer must still produce it byte-for-byte from the
+//! same dataset, and the reader must still decode it bit-exactly — so any
+//! accidental format drift (field reordered, width changed, checksum
+//! recomputed differently) fails CI instead of silently orphaning every
+//! store directory in the wild.
+//!
+//! Regenerate deliberately (a format *break*, which requires bumping
+//! `SEGMENT_VERSION`) with:
+//! `UPDATE_GOLDEN=1 cargo test -p datastore --test store_golden`.
+
+use datastore::store::{decode_segment, encode_segment, SEGMENT_MAGIC, SEGMENT_VERSION};
+use datastore::{Column, Dataset, ParticleTable};
+use histogram::Binning;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden_v1.vdx"
+);
+
+/// The fixture's source dataset, rebuilt from hardcoded values so the test
+/// has no dependence on generators or RNG shims: eight rows covering the
+/// awkward classes (NaN, ±∞, negatives), two indexed float columns, an
+/// identifier column with an id index.
+fn golden_dataset() -> Dataset {
+    let x = vec![
+        0.0,
+        0.25,
+        0.5,
+        f64::NAN,
+        1.5,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        2.0,
+    ];
+    let px = vec![-4.0, -3.0, -2.0, -1.0, 1.0, 2.0, 3.0, 4.0];
+    let id = vec![10u64, 11, 12, 13, 14, 15, 16, 17];
+    let table = ParticleTable::from_columns(vec![
+        Column::float("x", x),
+        Column::float("px", px),
+        Column::id("id", id),
+    ])
+    .unwrap();
+    let mut ds = Dataset::from_table(table, 3);
+    ds.build_indexes(&Binning::EqualWidth { bins: 4 }).unwrap();
+    ds.build_id_index().unwrap();
+    ds
+}
+
+#[test]
+fn golden_fixture_is_read_and_written_bit_exactly() {
+    assert_eq!(SEGMENT_VERSION, 1, "v2 needs a new fixture, not an edit");
+    let bytes = encode_segment(&golden_dataset());
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+        std::fs::write(FIXTURE, &bytes).unwrap();
+        panic!("golden fixture rewritten — commit it and rerun without UPDATE_GOLDEN");
+    }
+
+    let committed =
+        std::fs::read(FIXTURE).unwrap_or_else(|e| panic!("missing golden fixture {FIXTURE}: {e}"));
+    assert_eq!(&committed[..4], SEGMENT_MAGIC);
+    assert_eq!(
+        committed, bytes,
+        "the writer no longer produces format v1 byte-for-byte"
+    );
+
+    let decoded = decode_segment(&committed).expect("committed fixture must decode");
+    let fresh = golden_dataset();
+    assert_eq!(decoded.step(), 3);
+    assert_eq!(decoded.num_particles(), 8);
+    assert_eq!(decoded.indexed_columns(), vec!["px", "x"]);
+    assert!(decoded.id_index().is_some());
+    for name in ["x", "px"] {
+        let a = decoded.table().float_column(name).unwrap();
+        let b = fresh.table().float_column(name).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "column {name} must be bit-exact (NaN payloads included)"
+        );
+    }
+    assert_eq!(
+        decoded.table().id_column("id").unwrap(),
+        fresh.table().id_column("id").unwrap()
+    );
+
+    // Behavioural pin: the reloaded structures answer exactly like fresh
+    // ones, including the ±∞ candidate checks through the unbinned list.
+    for query in ["x >= 0.5 && px > -3.5", "x > 100", "x < 0", "px <= -1"] {
+        assert_eq!(
+            decoded.query_str(query).unwrap().to_rows(),
+            fresh.query_str(query).unwrap().to_rows(),
+            "{query}"
+        );
+    }
+    assert_eq!(decoded.query_str("x > 1.9").unwrap().to_rows(), vec![5, 7]);
+    assert_eq!(
+        decoded.select_ids(&[11, 16, 99]).unwrap().to_rows(),
+        vec![1, 6]
+    );
+}

@@ -69,12 +69,35 @@ impl BitmapIndex {
 
     /// Reassemble an index from persisted parts (bin edges, one bitmap per
     /// bin, the indexed row count and the rows left unbinned). Used by the
-    /// datastore layer when loading a sidecar index file.
+    /// datastore layer when loading a sidecar index file. Whether any
+    /// unbinned row could match a range predicate is unknown without the raw
+    /// values, so the reassembled index is conservatively marked matchable
+    /// whenever the unbinned set is non-empty.
     pub fn from_parts(
         edges: BinEdges,
         bitmaps: Vec<Wah>,
         num_rows: usize,
         unbinned: Vec<u32>,
+    ) -> Result<Self> {
+        let matchable = !unbinned.is_empty();
+        Self::from_parts_with_matchable(edges, bitmaps, num_rows, unbinned, matchable)
+    }
+
+    /// [`BitmapIndex::from_parts`] with an explicit unbinned-matchable flag,
+    /// for persistence formats that recorded the flag the original index was
+    /// built with (keeping `answers_exactly` and the pure-index fast paths
+    /// byte-identical across a save/load cycle).
+    ///
+    /// All structural invariants are validated — bitmap count versus bins,
+    /// bitmap lengths versus `num_rows`, and the unbinned rows strictly
+    /// increasing and in range — so hostile persisted bytes cannot construct
+    /// an index whose evaluation would later panic.
+    pub fn from_parts_with_matchable(
+        edges: BinEdges,
+        bitmaps: Vec<Wah>,
+        num_rows: usize,
+        unbinned: Vec<u32>,
+        unbinned_matchable: bool,
     ) -> Result<Self> {
         if bitmaps.len() != edges.num_bins() {
             return Err(FastBitError::Binning(
@@ -92,7 +115,13 @@ impl BitmapIndex {
                 });
             }
         }
-        let unbinned_matchable = !unbinned.is_empty();
+        let in_range = unbinned.iter().all(|&r| (r as usize) < num_rows);
+        let increasing = unbinned.windows(2).all(|w| w[0] < w[1]);
+        if !in_range || !increasing {
+            return Err(FastBitError::Execution(
+                "unbinned rows must be strictly increasing and within the row count".to_string(),
+            ));
+        }
         Ok(Self {
             edges,
             bitmaps,
@@ -127,6 +156,14 @@ impl BitmapIndex {
     /// Rows that could not be assigned to any bin (NaN values).
     pub fn unbinned_rows(&self) -> &[u32] {
         &self.unbinned
+    }
+
+    /// Whether any unbinned row holds a non-NaN value and could therefore
+    /// satisfy a range predicate (see the field documentation). Persisted by
+    /// the [`crate::persist`] layer so a reloaded index keeps the exact
+    /// candidate-check behaviour of the original.
+    pub fn unbinned_matchable(&self) -> bool {
+        self.unbinned_matchable
     }
 
     /// The compressed bitmap of bin `i`.

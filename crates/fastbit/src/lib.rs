@@ -23,6 +23,12 @@
 //!   both index-accelerated and scan-based.
 //! * [`scan`] — the "Custom" sequential-scan baseline used throughout the
 //!   paper's evaluation (Figures 11–17).
+//! * [`persist`] — std-only binary encoders/decoders for `BitmapIndex`,
+//!   `IdIndex` and `ZoneMaps` (WAH bitmaps written in their already-
+//!   compressed form), hardened against hostile bytes: every failure is a
+//!   typed `PersistError`, never a panic or an unbounded allocation. The
+//!   datastore crate's `vdx` store builds its checksummed segment files on
+//!   top of these.
 //! * [`par`] — the chunked parallel evaluation engine: fixed-size row chunks
 //!   carrying zone maps (min/max/NaN count), a std-only work-queue thread
 //!   pool, and per-chunk query evaluation that skips chunks the zone map
@@ -36,6 +42,7 @@ pub mod error;
 pub mod hist;
 pub mod index;
 pub mod par;
+pub mod persist;
 pub mod query;
 pub mod scan;
 pub mod selection;
@@ -46,6 +53,7 @@ pub use error::{FastBitError, Result};
 pub use hist::{BinSpec, HistEngine, HistogramEngine};
 pub use index::{BitmapIndex, IdIndex};
 pub use par::{ChunkMasks, ParExec, ParStatsSnapshot, Zone, ZoneMaps};
+pub use persist::{PersistError, PersistResult};
 pub use query::{
     evaluate as evaluate_query, evaluate_with_strategy, parse_query, ColumnProvider, ExecStrategy,
     Predicate, QueryExpr, ValueRange,

@@ -157,6 +157,17 @@ impl ZoneMaps {
         &self.zones[i]
     }
 
+    /// Reassemble a zone map from persisted parts. The caller (the persist
+    /// layer) must have validated that `zones` covers `num_rows` rows in
+    /// `chunk_rows`-sized chunks.
+    pub(crate) fn from_raw_parts(chunk_rows: usize, num_rows: usize, zones: Vec<Zone>) -> ZoneMaps {
+        ZoneMaps {
+            chunk_rows,
+            num_rows,
+            zones,
+        }
+    }
+
     /// Approximate heap size in bytes.
     pub fn size_in_bytes(&self) -> usize {
         self.zones.len() * std::mem::size_of::<Zone>()

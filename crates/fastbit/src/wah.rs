@@ -431,6 +431,50 @@ impl Wah {
         Self { words, nbits }
     }
 
+    /// Validating variant of [`Wah::from_raw_parts`] for words read from
+    /// untrusted bytes: the words must cover exactly `nbits` bits (fill
+    /// words with a zero group count are rejected) and the padding bits of a
+    /// final partial group must be clear — the invariants every vector
+    /// produced by this crate upholds and that the logical operations and
+    /// population counts rely on. Returns a description of the violation.
+    pub fn checked_from_raw_parts(words: Vec<u32>, nbits: u64) -> std::result::Result<Wah, String> {
+        let expected_groups = nbits.div_ceil(GROUP_BITS);
+        let mut groups = 0u64;
+        let mut last_pattern = 0u32;
+        for &w in &words {
+            if w & FILL_FLAG != 0 {
+                let count = (w & FILL_COUNT_MASK) as u64;
+                if count == 0 {
+                    return Err("fill word with zero group count".to_string());
+                }
+                groups += count;
+                last_pattern = if w & FILL_ONE_FLAG != 0 {
+                    LITERAL_MASK
+                } else {
+                    0
+                };
+            } else {
+                groups += 1;
+                last_pattern = w;
+            }
+            if groups > expected_groups {
+                return Err(format!(
+                    "words cover more than the expected {expected_groups} group(s)"
+                ));
+            }
+        }
+        if groups != expected_groups {
+            return Err(format!(
+                "words cover {groups} group(s), expected {expected_groups}"
+            ));
+        }
+        let tail = nbits % GROUP_BITS;
+        if tail != 0 && last_pattern & !((1u32 << tail) - 1) != 0 {
+            return Err("padding bits beyond the logical length are set".to_string());
+        }
+        Ok(Self { words, nbits })
+    }
+
     /// Compression ratio relative to the uncompressed representation
     /// (uncompressed bytes divided by compressed bytes).
     pub fn compression_ratio(&self) -> f64 {

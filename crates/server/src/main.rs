@@ -4,11 +4,17 @@
 //! ```text
 //! vdx-server serve --dir DIR [--addr 127.0.0.1:7878] [--workers N]
 //!                  [--cache-mb MB] [--query-cache N] [--nodes N]
-//!                  [--threads N] [--chunk-rows N]
+//!                  [--threads N] [--chunk-rows N] [--store-dir DIR]
 //! vdx-server query --addr HOST:PORT <verb> [field ...]
-//! vdx-server smoke
+//! vdx-server smoke [--dir DIR] [--store-dir DIR]
 //! vdx-server bench [--clients N] [--rounds N] [--particles N] [--timesteps N]
 //! ```
+//!
+//! `--store-dir` attaches the persistent `vdx` segment store: loads check
+//! the store before ingesting raw data, cold loads write their segment back,
+//! and the `SAVE`/`WARM` protocol verbs (plus the `store_*` `STATS` fields)
+//! drive and observe it. `smoke --dir --store-dir` reuses the catalog across
+//! invocations, so a second run exercises a warm start.
 //!
 //! `query` joins its trailing arguments with tabs, so a shell session looks
 //! like `vdx-server query --addr 127.0.0.1:7878 SELECT 19 "px > 1e10"`.
@@ -56,14 +62,14 @@ fn main() -> ExitCode {
     let result = match mode {
         "serve" => serve(&args[1..]),
         "query" => query(&args[1..]),
-        "smoke" => smoke(),
+        "smoke" => smoke(&args[1..]),
         "bench" => bench(&args[1..]),
         _ => {
             eprintln!(
                 "usage: vdx-server <serve|query|smoke|bench> [options]\n\
-                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N]\n\
+                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--store-dir DIR]\n\
                  \x20 query --addr HOST:PORT <verb> [field ...]\n\
-                 \x20 smoke\n\
+                 \x20 smoke [--dir DIR] [--store-dir DIR]\n\
                  \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N]"
             );
             return ExitCode::FAILURE;
@@ -81,9 +87,15 @@ fn main() -> ExitCode {
 fn serve(args: &[String]) -> Result<(), String> {
     let dir = flag(args, "--dir").ok_or("serve requires --dir DIR")?;
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".to_string());
-    let catalog = Catalog::open(&dir).map_err(|e| format!("open {dir}: {e}"))?;
+    let mut catalog = Catalog::open(&dir).map_err(|e| format!("open {dir}: {e}"))?;
     if catalog.num_timesteps() == 0 {
         return Err(format!("{dir} holds no timestep files"));
+    }
+    if let Some(store_dir) = flag(args, "--store-dir") {
+        let store =
+            datastore::Store::open(&store_dir).map_err(|e| format!("store {store_dir}: {e}"))?;
+        catalog.attach_store(store);
+        println!("vdx-server store attached at {store_dir}");
     }
     let server = Server::bind(Arc::new(catalog), &addr, server_config(args))
         .map_err(|e| format!("bind {addr}: {e}"))?;
@@ -139,8 +151,60 @@ fn scratch_catalog(
 /// The CI smoke session: boot a server on an ephemeral port against a tiny
 /// catalog, run a scripted select → refine → histogram → track conversation,
 /// assert non-empty OK replies, and shut down through the protocol.
-fn smoke() -> Result<(), String> {
-    let (catalog, sim, dir) = scratch_catalog("smoke", 800, 16)?;
+///
+/// With `--dir` the catalog directory is stable and reused across
+/// invocations (generated only when absent); with `--store-dir` the `vdx`
+/// store is attached and the session additionally runs `WARM` and prints the
+/// `store_*` counters — so running smoke twice with both flags exercises a
+/// cold start (segments written) and then a warm one (segments hit).
+fn smoke(args: &[String]) -> Result<(), String> {
+    let (particles, timesteps) = (800usize, 16usize);
+    let (catalog, sim, dir, scratch) = match flag(args, "--dir") {
+        None => {
+            let (catalog, sim, dir) = scratch_catalog("smoke", particles, timesteps)?;
+            (catalog, sim, dir, true)
+        }
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            let mut sim = SimConfig::tiny();
+            sim.particles_per_step = particles;
+            sim.num_timesteps = timesteps;
+            let reusable = Catalog::open(&dir)
+                .ok()
+                .filter(|c| c.num_timesteps() == timesteps);
+            let catalog = match reusable {
+                Some(catalog) => {
+                    println!("smoke: reusing catalog at {}", dir.display());
+                    catalog
+                }
+                None => {
+                    std::fs::remove_dir_all(&dir).ok();
+                    // A fresh catalog makes any old store contents stale.
+                    if let Some(store_dir) = flag(args, "--store-dir") {
+                        std::fs::remove_dir_all(&store_dir).ok();
+                    }
+                    let mut catalog = Catalog::create(&dir).map_err(|e| e.to_string())?;
+                    Simulation::new(sim.clone())
+                        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 32 }))
+                        .map_err(|e| e.to_string())?;
+                    catalog
+                }
+            };
+            (Arc::new(catalog), sim, dir, false)
+        }
+    };
+    let store_dir = flag(args, "--store-dir");
+    let catalog = match &store_dir {
+        Some(store_dir) => {
+            let mut catalog =
+                Arc::into_inner(catalog).expect("catalog not yet shared before serving");
+            let store =
+                datastore::Store::open(store_dir).map_err(|e| format!("store {store_dir}: {e}"))?;
+            catalog.attach_store(store);
+            Arc::new(catalog)
+        }
+        None => catalog,
+    };
     let last = *catalog.steps().last().expect("timesteps exist");
     let threshold = lwfa::physics::suggested_beam_threshold(&sim, last);
     let server =
@@ -149,13 +213,19 @@ fn smoke() -> Result<(), String> {
     println!("smoke: serving on {}", handle.addr());
 
     let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
-    let script = [
+    let mut script = vec![
         "PING".to_string(),
         "INFO".to_string(),
         format!("SELECT\t{last}\tpx > {threshold}"),
         format!("HIST\t{last}\tpx\t32"),
         format!("HIST\t{last}\tpx\t32\tpx > {threshold}"),
     ];
+    if store_dir.is_some() {
+        // Warm every timestep through the store before the workload: on a
+        // cold store this writes every segment back, on a warm one it loads
+        // them all without rebuilding an index.
+        script.insert(2, "WARM".to_string());
+    }
     let mut selected_ids = String::new();
     for line in &script {
         let reply = client.request(line).map_err(|e| e.to_string())?;
@@ -207,6 +277,29 @@ fn smoke() -> Result<(), String> {
         stats.get("qc_hits").map(String::as_str).unwrap_or("?"),
         stats.get("evaluations").map(String::as_str).unwrap_or("?"),
     );
+    if store_dir.is_some() {
+        println!(
+            "smoke: store store_hits={} store_misses={} store_bytes_written={} store_indexes_built={}",
+            stats.get("store_hits").map(String::as_str).unwrap_or("?"),
+            stats.get("store_misses").map(String::as_str).unwrap_or("?"),
+            stats
+                .get("store_bytes_written")
+                .map(String::as_str)
+                .unwrap_or("?"),
+            stats
+                .get("store_indexes_built")
+                .map(String::as_str)
+                .unwrap_or("?"),
+        );
+        let touched = ["store_hits", "store_misses"]
+            .iter()
+            .filter_map(|k| stats.get(*k))
+            .filter_map(|v| v.parse::<u64>().ok())
+            .sum::<u64>();
+        if touched == 0 {
+            return Err("store configured but never consulted".to_string());
+        }
+    }
     if stats
         .get("qc_hits")
         .and_then(|v| v.parse::<u64>().ok())
@@ -226,7 +319,9 @@ fn smoke() -> Result<(), String> {
         .map_err(|_| "server thread panicked".to_string())?
         .map_err(|e| e.to_string())?;
     println!("smoke: clean shutdown");
-    std::fs::remove_dir_all(&dir).ok();
+    if scratch {
+        std::fs::remove_dir_all(&dir).ok();
+    }
     Ok(())
 }
 

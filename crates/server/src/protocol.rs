@@ -17,6 +17,8 @@
 //! | `REFINE\t<step>\t<ids csv>\t<query>` | `OK\tREFINE\t<count>\t<ids csv>` |
 //! | `HIST\t<step>\t<column>\t<bins>[\t<condition>]` | `OK\tHIST\t<total>\t<lo>\t<hi>\t<counts csv>` |
 //! | `TRACK\t<ids csv>` | `OK\tTRACK\t<traces>\t<total hits>\t<id:points csv>` |
+//! | `SAVE` | `OK\tSAVE\t<segments>\t<bytes newly written>` (requires `--store-dir`) |
+//! | `WARM` | `OK\tWARM\t<warmed>\t<timesteps>` (requires `--store-dir`) |
 //! | `QUIT` | `OK\tBYE` (connection closes) |
 //! | `SHUTDOWN` | `OK\tBYE` (server drains and stops) |
 
@@ -64,6 +66,11 @@ pub enum Request {
         /// Particle identifiers to trace.
         ids: Vec<u64>,
     },
+    /// Persist every timestep into the `vdx` store (requires `--store-dir`).
+    Save,
+    /// Preload every timestep through the dataset cache, serving from the
+    /// `vdx` store where segments exist (requires `--store-dir`).
+    Warm,
     /// Close this connection.
     Quit,
     /// Gracefully stop the whole server.
@@ -96,6 +103,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ("PING", 1) => Ok(Request::Ping),
         ("INFO", 1) => Ok(Request::Info),
         ("STATS", 1) => Ok(Request::Stats),
+        ("SAVE", 1) => Ok(Request::Save),
+        ("WARM", 1) => Ok(Request::Warm),
         ("QUIT", 1) => Ok(Request::Quit),
         ("SHUTDOWN", 1) => Ok(Request::Shutdown),
         ("SELECT", 3) => Ok(Request::Select {
@@ -194,6 +203,9 @@ mod tests {
         assert_eq!(parse_request("ping"), Ok(Request::Ping));
         assert_eq!(parse_request("QUIT\n"), Ok(Request::Quit));
         assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
+        assert_eq!(parse_request("save"), Ok(Request::Save));
+        assert_eq!(parse_request("WARM"), Ok(Request::Warm));
+        assert!(parse_request("SAVE\textra").is_err());
         assert_eq!(
             parse_request("select\t3\tpx > 1e9 && y > 0"),
             Ok(Request::Select {

@@ -152,6 +152,8 @@ impl ServerState {
                 |m| &m.hist,
             ),
             Request::Track { ids } => self.timed(|s| s.op_track(&ids), |m| &m.track),
+            Request::Save => self.timed(|s| s.op_save(), |m| &m.meta),
+            Request::Warm => self.timed(|s| s.op_warm(), |m| &m.meta),
         }
     }
 
@@ -245,10 +247,61 @@ impl ServerState {
         Ok(reply)
     }
 
+    /// `SAVE`: persist every timestep into the attached `vdx` store (loads
+    /// go through the dataset cache, so hot timesteps serialize from
+    /// memory). Steps whose segment already exists are skipped — in
+    /// particular a cold `get_or_load` just wrote its segment back inside
+    /// `Catalog::load`, and serializing it a second time would only double
+    /// the CPU and disk work. The reply counts every persisted segment but
+    /// only the bytes newly written by this request.
+    fn op_save(&self) -> Result<String, String> {
+        let catalog = self.explorer.catalog();
+        let store = catalog
+            .store()
+            .ok_or("no store configured (start the server with --store-dir)")?;
+        let mut segments = 0u64;
+        let mut bytes = 0u64;
+        for step in catalog.steps() {
+            let dataset = self
+                .datasets
+                .get_or_load(catalog, step)
+                .map_err(|e| e.to_string())?;
+            if !store.contains(step) {
+                bytes += store.save(&dataset).map_err(|e| e.to_string())?;
+            }
+            segments += 1;
+        }
+        Ok(format!("OK\tSAVE\t{segments}\t{bytes}"))
+    }
+
+    /// `WARM`: preload every timestep through the dataset cache. With a
+    /// store attached, warm segments load without touching raw data or
+    /// rebuilding an index (observable as `store_hits` in `STATS`).
+    fn op_warm(&self) -> Result<String, String> {
+        let catalog = self.explorer.catalog();
+        if catalog.store().is_none() {
+            return Err("no store configured (start the server with --store-dir)".to_string());
+        }
+        let steps = catalog.steps();
+        let mut warmed = 0u64;
+        for &step in &steps {
+            if self.datasets.get_or_load(catalog, step).is_ok() {
+                warmed += 1;
+            }
+        }
+        Ok(format!("OK\tWARM\t{warmed}\t{}", steps.len()))
+    }
+
     fn stats_reply(&self) -> String {
         let ds = self.datasets.stats();
         let qc = self.queries.stats();
         let par = self.explorer.par_stats();
+        let store = self
+            .explorer
+            .catalog()
+            .store()
+            .map(|s| s.stats())
+            .unwrap_or_default();
         let mut fields = vec![
             format!("par_threads={}", self.explorer.par_exec().threads()),
             format!("par_chunk_rows={}", self.explorer.par_exec().chunk_rows()),
@@ -262,6 +315,10 @@ impl ServerState {
             format!("ds_resident_bytes={}", ds.resident_bytes),
             format!("ds_peak_resident_bytes={}", ds.peak_resident_bytes),
             format!("ds_budget_bytes={}", self.datasets.max_bytes()),
+            format!("store_hits={}", store.hits),
+            format!("store_misses={}", store.misses),
+            format!("store_bytes_written={}", store.bytes_written),
+            format!("store_indexes_built={}", store.indexes_built),
             format!("qc_hits={}", qc.hits),
             format!("qc_misses={}", qc.misses),
             format!("qc_evictions={}", qc.evictions),
@@ -490,6 +547,15 @@ mod tests {
         assert!(refine.starts_with("OK\tREFINE\t"));
         let (stats, _) = state.handle_line("STATS");
         assert!(stats.contains("ds_hits="));
+        assert!(
+            stats.contains("store_hits=0"),
+            "store fields always present"
+        );
+        assert!(
+            state.handle_line("SAVE").0.starts_with("ERR\t"),
+            "SAVE without --store-dir is a typed protocol error"
+        );
+        assert!(state.handle_line("WARM").0.starts_with("ERR\t"));
         assert!(state.handle_line("BOGUS").0.starts_with("ERR\t"));
         assert!(state
             .handle_line("SELECT\t99\tpx > 0")
@@ -511,6 +577,45 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(state.metrics().evaluations(), evals, "answered from cache");
         assert!(state.query_cache().stats().hits >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_and_warm_drive_the_store_across_restarts() {
+        let (catalog, dir) = tiny_catalog("savewarm");
+        let store_dir = dir.join("store");
+        let mut catalog = Arc::into_inner(catalog).expect("sole owner");
+        catalog.attach_store(datastore::Store::open(&store_dir).unwrap());
+        let server = Server::bind(Arc::new(catalog), "127.0.0.1:0", ServerConfig::default());
+        let server = server.unwrap();
+        let handle = server.handle();
+        let state = handle.state();
+        let (save, _) = state.handle_line("SAVE");
+        assert!(save.starts_with("OK\tSAVE\t6\t"), "six segments: {save}");
+        let (stats, _) = state.handle_line("STATS");
+        assert!(stats.contains("store_bytes_written="));
+        assert!(!stats.contains("store_bytes_written=0\t"));
+
+        // A "restarted" server over the same directories: WARM must load
+        // every timestep from the store, building nothing.
+        let mut catalog = Catalog::open(&dir).unwrap();
+        catalog.attach_store(datastore::Store::open(&store_dir).unwrap());
+        let server =
+            Server::bind(Arc::new(catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let handle = server.handle();
+        let state = handle.state();
+        let (warm, _) = state.handle_line("WARM");
+        assert_eq!(warm, "OK\tWARM\t6\t6");
+        let (stats, _) = state.handle_line("STATS");
+        assert!(
+            stats.contains("store_hits=6"),
+            "warm start all hits: {stats}"
+        );
+        assert!(stats.contains("store_misses=0"));
+        assert!(stats.contains("store_indexes_built=0"));
+        // Queries after warming answer from resident, store-loaded datasets.
+        let (select, _) = state.handle_line("SELECT\t5\tpx > 0");
+        assert!(select.starts_with("OK\tSELECT\t"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
