@@ -32,6 +32,13 @@ pub struct ExplorerConfig {
     pub threads: usize,
     /// Rows per evaluation chunk of the parallel engine.
     pub chunk_rows: usize,
+    /// Let the chunked parallel engine answer predicates through bitmap
+    /// indexes (with per-query equality/range encoding selection) instead of
+    /// scanning chunks, when an index exists. Off by default so the chunked
+    /// engine keeps its historical pure-scan behaviour; results are
+    /// byte-identical either way. Only meaningful when `threads > 1` — the
+    /// sequential path already uses indexes under the `FastBit` engine.
+    pub index_accel: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -43,6 +50,7 @@ impl Default for ExplorerConfig {
             default_bins: 256,
             threads: 1,
             chunk_rows: fastbit::par::DEFAULT_CHUNK_ROWS,
+            index_accel: false,
         }
     }
 }
@@ -65,6 +73,24 @@ pub struct BeamSelection {
 /// [`DatasetCache`]) can be shared by many explorers — e.g. one per server
 /// worker thread — without cloning the entry table. `DataExplorer` is
 /// `Send + Sync`; see the `shared_catalog_is_send_sync` test.
+///
+/// ```
+/// use vdx_core::{DataExplorer, ExplorerConfig};
+/// use vdx_core::lwfa::SimConfig;
+///
+/// let dir = std::env::temp_dir().join(format!("vdx_doc_{}", std::process::id()));
+/// let _ = std::fs::remove_dir_all(&dir);
+/// let explorer =
+///     DataExplorer::generate(&dir, SimConfig::tiny(), ExplorerConfig::default()).unwrap();
+/// let step = *explorer.steps().last().unwrap();
+///
+/// // Select a beam with a textual compound query, then drill down.
+/// let beam = explorer.select(step, "px > 0 && y > -1e9").unwrap();
+/// let hist = explorer.histogram1d(step, "px", 32, None).unwrap();
+/// assert_eq!(hist.num_bins(), 32);
+/// assert!(beam.ids.len() as u64 <= hist.total());
+/// let _ = std::fs::remove_dir_all(&dir);
+/// ```
 #[derive(Debug)]
 pub struct DataExplorer {
     catalog: Arc<Catalog>,
@@ -117,7 +143,8 @@ impl DataExplorer {
 
     /// Build an explorer over an already opened, shared catalog.
     pub fn from_catalog(catalog: Arc<Catalog>, config: ExplorerConfig) -> Self {
-        let par = ParExec::new(config.threads, config.chunk_rows);
+        let par = ParExec::new(config.threads, config.chunk_rows)
+            .with_index_acceleration(config.index_accel);
         Self {
             catalog,
             config,
@@ -208,9 +235,10 @@ impl DataExplorer {
     pub fn select(&self, step: usize, query: &str) -> Result<BeamSelection> {
         let expr = parse_query(query)?;
         let ids = if self.parallel() {
-            // The chunked evaluator never consults bitmap indexes, so skip
-            // the sidecar load (cached loads always carry them regardless).
-            let dataset = self.load_step(step, None, false)?;
+            // Without index acceleration the chunked evaluator never consults
+            // bitmap indexes, so skip the sidecar load (cached loads always
+            // carry them regardless).
+            let dataset = self.load_step(step, None, self.par.index_acceleration())?;
             let selection = fastbit::par::evaluate_chunked(&expr, &*dataset, &self.par)?;
             dataset.ids_of(&selection)?
         } else {

@@ -255,6 +255,25 @@ impl DatasetCache {
         self.peak.fetch_max(resident, Ordering::Relaxed);
     }
 
+    /// Compressed bitmap-index bytes per encoding — `(equality, range)` —
+    /// summed over every resident dataset. The server reports these as
+    /// `enc_equality_bytes` / `enc_range_bytes` so operators can see what
+    /// the dual encoding costs in resident memory against what the
+    /// `enc_*_queries` counters say it buys.
+    pub fn encoding_bytes(&self) -> (u64, u64) {
+        let mut equality = 0u64;
+        let mut range = 0u64;
+        for state in &self.shards {
+            let shard = state.shard.lock();
+            for entry in shard.entries.values() {
+                let (e, r) = entry.dataset.index_encoding_bytes();
+                equality += e;
+                range += r;
+            }
+        }
+        (equality, range)
+    }
+
     /// Effectiveness counters.
     pub fn stats(&self) -> DatasetCacheStats {
         DatasetCacheStats {

@@ -234,6 +234,12 @@ impl Catalog {
             let built = dataset.build_indexes_lenient(store.binning());
             store.note_indexes_built(built as u64);
         }
+        // Freshly built and sidecar-loaded indexes are equality-only at this
+        // point; derive the cumulative (range) encoding from their bitmaps —
+        // where the materialization budget allows — before write-back, so
+        // the persisted segment (format v2 when any column qualifies)
+        // serves per-query encoding selection on every later session.
+        dataset.build_range_encodings_budgeted(crate::store::STORE_RANGE_ENCODING_MAX_RATIO);
         if dataset.id_index().is_none() && dataset.table().id_column("id").is_ok() {
             dataset.build_id_index()?;
         }

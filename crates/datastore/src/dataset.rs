@@ -74,10 +74,15 @@ impl Dataset {
         Ok(())
     }
 
-    /// Build bitmap indexes over every float column, skipping columns whose
-    /// construction fails (empty or degenerate value ranges). Returns the
-    /// number of indexes built. Used by the store's cold-load write-back,
-    /// where one unindexable column must not abort serving the timestep.
+    /// Build (equality-encoded) bitmap indexes over every float column,
+    /// skipping columns whose construction fails (empty or degenerate value
+    /// ranges). Returns the number of indexes built. Used by the store's
+    /// cold-load write-back, where one unindexable column must not abort
+    /// serving the timestep; [`Catalog::load`](crate::Catalog::load) then
+    /// adds the cumulative range encoding under the store's materialization
+    /// budget ([`Dataset::build_range_encodings_budgeted`]) before saving —
+    /// one policy, one place, covering freshly built and sidecar-loaded
+    /// indexes alike.
     pub fn build_indexes_lenient(&mut self, binning: &Binning) -> usize {
         let mut built = 0;
         for column in self.table.columns() {
@@ -89,6 +94,55 @@ impl Dataset {
             }
         }
         built
+    }
+
+    /// Build the cumulative (range) encoding for every attached bitmap index
+    /// that lacks it, from the equality bitmaps alone (no raw data needed).
+    /// Returns how many indexes gained the encoding. Unbudgeted — callers
+    /// that persist should prefer
+    /// [`Dataset::build_range_encodings_budgeted`].
+    pub fn build_range_encodings(&mut self) -> usize {
+        let mut built = 0;
+        for idx in self.indexes.values_mut() {
+            if !idx.has_range_encoding() && idx.build_range_encoding().is_ok() {
+                built += 1;
+            }
+        }
+        built
+    }
+
+    /// [`Dataset::build_range_encodings`] under the per-index size budget of
+    /// [`fastbit::BitmapIndex::build_range_encoding_budgeted`]: only indexes
+    /// whose cumulative bitmaps stay within `max_ratio` times their equality
+    /// bytes gain the encoding. Returns how many did. This is what the
+    /// store's write-back path uses, so segment size — and therefore warm
+    /// restart time — cannot blow up on scattered columns whose cumulative
+    /// bitmaps barely compress.
+    pub fn build_range_encodings_budgeted(&mut self, max_ratio: f64) -> usize {
+        let mut built = 0;
+        for idx in self.indexes.values_mut() {
+            if !idx.has_range_encoding()
+                && matches!(idx.build_range_encoding_budgeted(max_ratio), Ok(true))
+            {
+                built += 1;
+            }
+        }
+        built
+    }
+
+    /// Compressed bitmap bytes of the attached indexes per encoding:
+    /// `(equality, range)`. Reported by the server's `STATS` verb as
+    /// `enc_equality_bytes` / `enc_range_bytes`, summed over the resident
+    /// dataset cache.
+    pub fn index_encoding_bytes(&self) -> (u64, u64) {
+        let mut equality = 0u64;
+        let mut range = 0u64;
+        for idx in self.indexes.values() {
+            let (e, r) = idx.encoding_size_bytes();
+            equality += e as u64;
+            range += r as u64;
+        }
+        (equality, range)
     }
 
     /// Attach indexes loaded from a `.vdi` sidecar file.

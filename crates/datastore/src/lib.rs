@@ -7,7 +7,7 @@
 //!
 //! * [`table::ParticleTable`] — an in-memory columnar table of particles
 //!   (positions, momenta, identifiers, derived quantities).
-//! * [`format`] — a small binary timestep file format (`.vdc`) with
+//! * [`mod@format`] — a small binary timestep file format (`.vdc`) with
 //!   column-projection reads, so a reader only touches the columns named in
 //!   the pipeline contract, plus a sidecar index file (`.vdi`) holding the
 //!   per-column WAH bitmap indexes produced by the one-time preprocessing

@@ -6,12 +6,12 @@
 //! survive a process restart, so a warm `vdx-server` start never re-ingests
 //! raw data or rebuilds a single index.
 //!
-//! # Segment layout (format v1, all integers little-endian)
+//! # Segment layout (formats v1 and v2, all integers little-endian)
 //!
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "VDXS"
-//!      4     4  format version (u32, currently 1)
+//!      4     4  format version (u32, 1 or 2)
 //!      8     4  section count (u32)
 //!     12     4  CRC-32 of the section table bytes
 //!     16  24*n  section table: { kind u32 | offset u64 | len u64 | crc u32 }
@@ -20,7 +20,15 @@
 //!
 //! Section kinds: `1` meta (step, row count, section tallies), `2` column
 //! (name, dtype, raw values), `3` bitmap index (name + `fastbit::persist`
-//! encoding), `4` identifier index, `5` zone maps (name + chunk size).
+//! encoding), `4` identifier index, `5` zone maps (name + chunk size), and —
+//! format v2 only — `6` range-encoded (cumulative) bitmaps of one index
+//! (name + `fastbit::persist::encode_range_bitmaps` encoding). A v2 meta
+//! payload appends a `u32` tally of the range-index sections; everything
+//! else is byte-identical to v1. The writer emits v2 **only when** a dataset
+//! actually carries range encodings, so datasets without them keep producing
+//! v1 segments bit-for-bit (the golden v1 fixture pins this), and the reader
+//! accepts both versions.
+//!
 //! Every payload carries its own CRC-32 in the table, and the table itself
 //! is covered by the header CRC, so *any* single-byte corruption anywhere in
 //! a segment is detected before a `Dataset` is constructed.
@@ -50,8 +58,14 @@ use crate::table::ParticleTable;
 
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: &[u8; 4] = b"VDXS";
-/// Current segment format version.
+/// Baseline segment format version, written for datasets without
+/// range-encoded bitmaps. Byte-for-byte stable (golden-fixture pinned).
 pub const SEGMENT_VERSION: u32 = 1;
+/// Segment format version written when any index carries the range
+/// (cumulative) encoding: adds section kind 6 and a range-section tally in
+/// the meta payload, and is otherwise identical to v1. The reader accepts
+/// both versions.
+pub const SEGMENT_VERSION_RANGE: u32 = 2;
 /// Fixed header length: magic + version + section count + table CRC.
 pub const HEADER_LEN: usize = 16;
 /// Bytes per section-table entry: kind + offset + len + crc.
@@ -62,6 +76,8 @@ const KIND_COLUMN: u32 = 2;
 const KIND_INDEX: u32 = 3;
 const KIND_ID_INDEX: u32 = 4;
 const KIND_ZONE_MAPS: u32 = 5;
+/// Format v2 only: one index's cumulative (range-encoded) bitmaps.
+const KIND_RANGE_INDEX: u32 = 6;
 
 const DTYPE_FLOAT: u8 = 0;
 const DTYPE_ID: u8 = 1;
@@ -242,15 +258,36 @@ pub type StoreResult<T> = std::result::Result<T, StoreError>;
 /// emits for format v1 (the golden-file test pins them).
 pub const STORE_ZONE_CHUNK_ROWS: usize = 4096;
 
-fn meta_payload(dataset: &Dataset, tallies: (u32, u32, u32, bool)) -> Vec<u8> {
+/// Materialization budget for the range (cumulative) encoding on the store
+/// write-back path: an index keeps its cumulative bitmaps only when their
+/// total compressed size is at most this many times the equality bitmaps'.
+/// Clustered / low-cardinality columns compress near 1:1 and qualify;
+/// scattered high-entropy columns (whose mid-range cumulative bitmaps are
+/// literal-dense, approaching `bins × rows / 31` words) do not — for those,
+/// persisting the encoding would multiply segment size and warm-restart
+/// time for a win that only applies to wide ranges. This is a policy
+/// constant, not a format constant: changing it changes *which* sections a
+/// segment carries, never how any section is laid out.
+pub const STORE_RANGE_ENCODING_MAX_RATIO: f64 = 2.0;
+
+fn meta_payload(
+    dataset: &Dataset,
+    tallies: (u32, u32, u32, bool),
+    range_tally: Option<u32>,
+) -> Vec<u8> {
     let (columns, indexes, zone_maps, has_id_index) = tallies;
-    let mut out = Vec::with_capacity(32);
+    let mut out = Vec::with_capacity(36);
     put_u64(&mut out, dataset.step() as u64);
     put_u64(&mut out, dataset.num_particles() as u64);
     put_u32(&mut out, columns);
     put_u32(&mut out, indexes);
     put_u32(&mut out, zone_maps);
     out.push(has_id_index as u8);
+    // Format v2 appends the range-index section tally; v1 metas stop here so
+    // v1 bytes stay pinned.
+    if let Some(range) = range_tally {
+        put_u32(&mut out, range);
+    }
     out
 }
 
@@ -277,10 +314,14 @@ fn column_payload(column: &Column) -> Vec<u8> {
 }
 
 /// Serialize a dataset into segment bytes. Sections are emitted in a fixed,
-/// deterministic order (meta, columns in table order, indexes by name, the
-/// identifier index, zone maps in table order), so identical datasets always
-/// produce identical bytes — the property the golden-file test pins.
+/// deterministic order (meta, columns in table order, indexes by name, range
+/// bitmaps by name, the identifier index, zone maps in table order), so
+/// identical datasets always produce identical bytes — the property the
+/// golden-file tests pin. The format version is v1 unless some index carries
+/// the range encoding, in which case v2 is written (extra meta tally plus
+/// one kind-6 section per range-encoded index).
 pub fn encode_segment(dataset: &Dataset) -> Vec<u8> {
+    use fastbit::persist::encode_range_bitmaps;
     use fastbit::ColumnProvider;
 
     let table = dataset.table();
@@ -290,6 +331,15 @@ pub fn encode_segment(dataset: &Dataset) -> Vec<u8> {
         .iter()
         .filter(|c| c.data.as_float().is_some())
         .collect();
+    let range_entries: Vec<(&str, &[fastbit::Wah])> = index_entries
+        .iter()
+        .filter_map(|(name, idx)| idx.range_bitmaps().map(|c| (*name, c)))
+        .collect();
+    let version = if range_entries.is_empty() {
+        SEGMENT_VERSION
+    } else {
+        SEGMENT_VERSION_RANGE
+    };
 
     let mut sections: Vec<(u32, Vec<u8>)> = Vec::new();
     sections.push((
@@ -302,6 +352,7 @@ pub fn encode_segment(dataset: &Dataset) -> Vec<u8> {
                 float_columns.len() as u32,
                 dataset.id_index().is_some(),
             ),
+            (version == SEGMENT_VERSION_RANGE).then_some(range_entries.len() as u32),
         ),
     ));
     for column in table.columns() {
@@ -312,6 +363,12 @@ pub fn encode_segment(dataset: &Dataset) -> Vec<u8> {
         put_str(&mut payload, name);
         encode_index(idx, &mut payload);
         sections.push((KIND_INDEX, payload));
+    }
+    for (name, cumulative) in &range_entries {
+        let mut payload = Vec::new();
+        put_str(&mut payload, name);
+        encode_range_bitmaps(cumulative, &mut payload);
+        sections.push((KIND_RANGE_INDEX, payload));
     }
     if let Some(id_index) = dataset.id_index() {
         let mut payload = Vec::new();
@@ -342,7 +399,7 @@ pub fn encode_segment(dataset: &Dataset) -> Vec<u8> {
 
     let mut out = Vec::with_capacity(offset as usize);
     out.extend_from_slice(SEGMENT_MAGIC);
-    put_u32(&mut out, SEGMENT_VERSION);
+    put_u32(&mut out, version);
     put_u32(&mut out, sections.len() as u32);
     put_u32(&mut out, crc32(&section_table));
     out.extend_from_slice(&section_table);
@@ -370,6 +427,7 @@ fn kind_name(kind: u32) -> &'static str {
         KIND_INDEX => "index",
         KIND_ID_INDEX => "id index",
         KIND_ZONE_MAPS => "zone maps",
+        KIND_RANGE_INDEX => "range index",
         _ => "unknown",
     }
 }
@@ -423,9 +481,10 @@ pub fn decode_segment(bytes: &[u8]) -> StoreResult<Dataset> {
         return Err(StoreError::BadMagic(magic));
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != SEGMENT_VERSION {
+    if version != SEGMENT_VERSION && version != SEGMENT_VERSION_RANGE {
         return Err(StoreError::UnsupportedVersion(version));
     }
+    let has_range_sections = version == SEGMENT_VERSION_RANGE;
     let section_count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
     let table_crc = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
     let table_len = section_count
@@ -471,10 +530,11 @@ pub fn decode_segment(bytes: &[u8]) -> StoreResult<Dataset> {
                 file_len,
             });
         }
-        if !matches!(
+        let kind_ok = matches!(
             entry.kind,
             KIND_META | KIND_COLUMN | KIND_INDEX | KIND_ID_INDEX | KIND_ZONE_MAPS
-        ) {
+        ) || (entry.kind == KIND_RANGE_INDEX && has_range_sections);
+        if !kind_ok {
             return Err(StoreError::BadSectionKind(entry.kind));
         }
         entries.push(entry);
@@ -518,12 +578,18 @@ pub fn decode_segment(bytes: &[u8]) -> StoreResult<Dataset> {
             )))
         }
     };
+    let range_tally = if has_range_sections {
+        r.u32("meta range-index tally")?
+    } else {
+        0
+    };
     r.expect_end("meta")?;
 
     let mut columns = Vec::new();
     let mut indexes: Vec<(String, fastbit::BitmapIndex)> = Vec::new();
     let mut id_index = None;
     let mut zone_maps: Vec<(String, fastbit::ZoneMaps)> = Vec::new();
+    let mut range_sections: Vec<(String, Vec<fastbit::Wah>)> = Vec::new();
     for entry in &entries {
         match entry.kind {
             KIND_META => {}
@@ -575,6 +641,18 @@ pub fn decode_segment(bytes: &[u8]) -> StoreResult<Dataset> {
                 }
                 zone_maps.push((name, maps));
             }
+            KIND_RANGE_INDEX => {
+                let mut r = Reader::new(payload_of(entry)?);
+                let name = r.str("range index name")?;
+                let cumulative = persist::read_range_bitmaps(&mut r)?;
+                r.expect_end("range index")?;
+                if range_sections.iter().any(|(n, _)| *n == name) {
+                    return Err(StoreError::Corrupt(format!(
+                        "duplicate range index '{name}'"
+                    )));
+                }
+                range_sections.push((name, cumulative));
+            }
             other => return Err(StoreError::BadSectionKind(other)),
         }
     }
@@ -582,18 +660,35 @@ pub fn decode_segment(bytes: &[u8]) -> StoreResult<Dataset> {
     if columns.len() as u32 != column_tally
         || indexes.len() as u32 != index_tally
         || zone_maps.len() as u32 != zone_tally
+        || range_sections.len() as u32 != range_tally
         || id_index.is_some() != has_id_index
     {
         return Err(StoreError::Corrupt(format!(
             "section tallies disagree with meta: {} column(s) (meta {column_tally}), \
              {} index(es) (meta {index_tally}), {} zone map(s) (meta {zone_tally}), \
-             id index {} (meta {})",
+             {} range index(es) (meta {range_tally}), id index {} (meta {})",
             columns.len(),
             indexes.len(),
             zone_maps.len(),
+            range_sections.len(),
             id_index.is_some(),
             has_id_index
         )));
+    }
+
+    // Attach the cumulative bitmaps to their owning indexes; the attach
+    // validates lengths, counts and the cumulative population tallies, so a
+    // structurally valid but semantically impossible section is rejected
+    // here rather than corrupting query answers later.
+    for (name, cumulative) in range_sections {
+        let Some((_, idx)) = indexes.iter_mut().find(|(n, _)| *n == name) else {
+            return Err(StoreError::Corrupt(format!(
+                "range index '{name}' has no matching bitmap index"
+            )));
+        };
+        idx.attach_range_bitmaps(cumulative).map_err(|e| {
+            StoreError::Corrupt(format!("range index '{name}' is inconsistent: {e}"))
+        })?;
     }
 
     let table = ParticleTable::from_columns(columns)

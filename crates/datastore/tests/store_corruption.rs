@@ -11,7 +11,7 @@
 
 use datastore::store::{
     crc32, decode_segment, encode_segment, Store, StoreError, HEADER_LEN, SEGMENT_VERSION,
-    TABLE_ENTRY_LEN,
+    SEGMENT_VERSION_RANGE, TABLE_ENTRY_LEN,
 };
 use datastore::{Column, Dataset, ParticleTable};
 use histogram::Binning;
@@ -36,8 +36,22 @@ fn sample_dataset() -> Dataset {
     ds
 }
 
+/// The same dataset with both index encodings, which encodes as format v2
+/// (adds the kind-6 range-bitmap sections and the meta tally).
+fn sample_dataset_v2() -> Dataset {
+    let mut ds = sample_dataset();
+    assert_eq!(ds.build_range_encodings(), 2);
+    ds
+}
+
 fn segment_bytes() -> Vec<u8> {
     encode_segment(&sample_dataset())
+}
+
+fn segment_bytes_v2() -> Vec<u8> {
+    let bytes = encode_segment(&sample_dataset_v2());
+    assert_eq!(bytes[4], 2, "dual-encoding dataset must encode as v2");
+    bytes
 }
 
 /// Parsed `(kind, offset, len)` triples from a (valid) segment's table.
@@ -76,48 +90,51 @@ fn fix_section_crc(bytes: &mut [u8], i: usize) {
 
 #[test]
 fn truncation_at_every_byte_is_a_typed_error() {
-    let bytes = segment_bytes();
-    // Every prefix — which necessarily includes every section boundary —
-    // must fail loudly with a displayable, typed error.
-    for cut in 0..bytes.len() {
-        let err = decode_segment(&bytes[..cut])
-            .map(|_| ())
-            .expect_err(&format!("prefix of {cut} bytes must not decode"));
-        assert!(!err.to_string().is_empty());
+    for bytes in [segment_bytes(), segment_bytes_v2()] {
+        // Every prefix — which necessarily includes every section boundary —
+        // must fail loudly with a displayable, typed error.
+        for cut in 0..bytes.len() {
+            let err = decode_segment(&bytes[..cut])
+                .map(|_| ())
+                .expect_err(&format!("prefix of {cut} bytes must not decode"));
+            assert!(!err.to_string().is_empty());
+        }
+        decode_segment(&bytes).expect("the untouched segment still decodes");
     }
-    decode_segment(&bytes).expect("the untouched segment still decodes");
 }
 
 #[test]
 fn every_single_byte_flip_is_detected() {
-    let bytes = segment_bytes();
-    for at in 0..bytes.len() {
-        let mut corrupt = bytes.clone();
-        corrupt[at] ^= 0xFF;
-        assert!(
-            decode_segment(&corrupt).is_err(),
-            "flipping byte {at} of {} must be detected",
-            bytes.len()
-        );
+    for bytes in [segment_bytes(), segment_bytes_v2()] {
+        for at in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0xFF;
+            assert!(
+                decode_segment(&corrupt).is_err(),
+                "flipping byte {at} of {} must be detected",
+                bytes.len()
+            );
+        }
     }
 }
 
 #[test]
 fn random_mutations_never_panic_or_succeed_silently() {
-    let bytes = segment_bytes();
-    let mut rng = StdRng::seed_from_u64(0xDEAD);
-    for round in 0..600 {
-        let mut corrupt = bytes.clone();
-        for _ in 0..rng.gen_range(1..16usize) {
-            let at = rng.gen_range(0..corrupt.len());
-            corrupt[at] = rng.gen_range(0..256usize) as u8;
-        }
-        // Any mutation that does not faithfully recompute the checksums must
-        // be rejected (the chance of a random 32-bit CRC collision across
-        // 600 rounds is negligible, and a collision would still have to pass
-        // every structural validator).
-        if corrupt != bytes {
-            assert!(decode_segment(&corrupt).is_err(), "round {round}");
+    for bytes in [segment_bytes(), segment_bytes_v2()] {
+        let mut rng = StdRng::seed_from_u64(0xDEAD);
+        for round in 0..600 {
+            let mut corrupt = bytes.clone();
+            for _ in 0..rng.gen_range(1..16usize) {
+                let at = rng.gen_range(0..corrupt.len());
+                corrupt[at] = rng.gen_range(0..256usize) as u8;
+            }
+            // Any mutation that does not faithfully recompute the checksums
+            // must be rejected (the chance of a random 32-bit CRC collision
+            // across 600 rounds is negligible, and a collision would still
+            // have to pass every structural validator).
+            if corrupt != bytes {
+                assert!(decode_segment(&corrupt).is_err(), "round {round}");
+            }
         }
     }
 }
@@ -125,7 +142,7 @@ fn random_mutations_never_panic_or_succeed_silently() {
 #[test]
 fn bogus_versions_are_rejected_by_value() {
     let bytes = segment_bytes();
-    for version in [0u32, 2, 7, u32::MAX] {
+    for version in [0u32, 3, 7, u32::MAX] {
         let mut patched = bytes.clone();
         patched[4..8].copy_from_slice(&version.to_le_bytes());
         match decode_segment(&patched) {
@@ -133,7 +150,27 @@ fn bogus_versions_are_rejected_by_value() {
             other => panic!("version {version}: expected UnsupportedVersion, got {other:?}"),
         }
     }
-    assert_eq!(SEGMENT_VERSION, 1, "bump the bogus list when v2 lands");
+    assert_eq!(SEGMENT_VERSION, 1, "bump the bogus list when v3 lands");
+    assert_eq!(SEGMENT_VERSION_RANGE, 2);
+
+    // Version 2 is structurally accepted, but a v1 body relabeled v2 still
+    // fails a typed check: the v2 meta requires the range-index tally that a
+    // v1 meta payload does not carry.
+    let mut relabeled = bytes.clone();
+    relabeled[4..8].copy_from_slice(&SEGMENT_VERSION_RANGE.to_le_bytes());
+    match decode_segment(&relabeled) {
+        Err(StoreError::Truncated { what, .. }) => assert!(what.contains("range-index tally")),
+        other => panic!("relabeled v2: expected truncated meta, got {other:?}"),
+    }
+
+    // And the converse: a genuine v2 body relabeled v1 trips over its own
+    // kind-6 sections (unknown to v1) before any payload is interpreted.
+    let mut downgraded = segment_bytes_v2();
+    downgraded[4..8].copy_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    assert!(matches!(
+        decode_segment(&downgraded),
+        Err(StoreError::BadSectionKind(6))
+    ));
 }
 
 #[test]
@@ -254,6 +291,109 @@ fn hostile_payload_counts_with_recomputed_checksums_hit_the_validators() {
         decode_segment(&patched),
         Err(StoreError::Corrupt(_))
     ));
+}
+
+#[test]
+fn hostile_range_sections_with_recomputed_checksums_hit_the_validators() {
+    let bytes = segment_bytes_v2();
+    let table = section_table(&bytes);
+    let range_idx = table.iter().position(|&(kind, _, _)| kind == 6).unwrap();
+    let (_, off, len) = table[range_idx];
+
+    // Rename the section to a column that has no index: every range section
+    // must attach to an existing bitmap index.
+    let mut patched = bytes.clone();
+    let name_len =
+        u32::from_le_bytes(patched[off as usize..off as usize + 4].try_into().unwrap()) as usize;
+    assert!(name_len >= 1);
+    patched[off as usize + 4] = b'q'; // "x"/"px" -> no such index
+    fix_section_crc(&mut patched, range_idx);
+    match decode_segment(&patched) {
+        Err(StoreError::Corrupt(msg)) => assert!(msg.contains("no matching bitmap index")),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Zero out the last WAH word of the cumulative payload and recompute the
+    // CRC: structurally valid words whose population tallies cannot be
+    // cumulative must be rejected by the attach validator, not served.
+    let mut patched = bytes.clone();
+    let tail = (off + len) as usize - 4;
+    let original: [u8; 4] = patched[tail..tail + 4].try_into().unwrap();
+    let zero_fill = 0x8000_0001u32.to_le_bytes(); // one all-zero WAH group
+    if original != zero_fill {
+        patched[tail..tail + 4].copy_from_slice(&zero_fill);
+        fix_section_crc(&mut patched, range_idx);
+        let err = decode_segment(&patched).expect_err("broken cumulative tally");
+        assert!(
+            matches!(err, StoreError::Corrupt(_)),
+            "expected Corrupt, got {err:?}"
+        );
+    }
+
+    // A popcount-preserving bit move (rotate one literal WAH word's 31-bit
+    // payload), CRCs recomputed: only the exact word-level validation in
+    // `attach_range_bitmaps` can reject it — a count-only tally would have
+    // silently served wrong query answers. Walk the payload structure
+    // (name, bitmap count, then per-bitmap header + words) to be sure we
+    // mutate a words array and nothing else.
+    let read_u32 = |b: &[u8], at: usize| u32::from_le_bytes(b[at..at + 4].try_into().unwrap());
+    let mut patched = bytes.clone();
+    let base = off as usize;
+    let name_len = read_u32(&patched, base) as usize;
+    let mut at = base + 4 + name_len;
+    let bitmap_count = read_u32(&patched, at);
+    at += 4;
+    let mut mutated = false;
+    'bitmaps: for _ in 0..bitmap_count {
+        at += 8; // wah bit length (u64)
+        let word_count = read_u32(&patched, at) as usize;
+        at += 4;
+        for w in 0..word_count {
+            let pos = at + w * 4;
+            let v = read_u32(&patched, pos);
+            // A literal (MSB clear) that stays a proper literal after a
+            // 31-bit rotation and actually changes value.
+            if v & 0x8000_0000 == 0 && (2..=29).contains(&v.count_ones()) {
+                let rotated = ((v << 1) | (v >> 30)) & 0x7FFF_FFFF;
+                if rotated != v {
+                    patched[pos..pos + 4].copy_from_slice(&rotated.to_le_bytes());
+                    mutated = true;
+                    break 'bitmaps;
+                }
+            }
+        }
+        at += word_count * 4;
+    }
+    assert!(mutated, "no mutable literal word in the range payload");
+    fix_section_crc(&mut patched, range_idx);
+    let err = decode_segment(&patched).expect_err("popcount-preserving bit move");
+    assert!(
+        matches!(err, StoreError::Corrupt(_)),
+        "expected Corrupt, got {err:?}"
+    );
+}
+
+#[test]
+fn v2_segments_roundtrip_with_range_encodings_attached() {
+    let bytes = segment_bytes_v2();
+    let decoded = decode_segment(&bytes).expect("v2 decodes");
+    use fastbit::ColumnProvider;
+    for name in ["x", "px"] {
+        let idx = decoded.index(name).expect("index present");
+        assert!(
+            idx.has_range_encoding(),
+            "range encoding for '{name}' survived the roundtrip"
+        );
+    }
+    // Queries through the reloaded dual-encoding indexes match a fresh one.
+    let fresh = sample_dataset_v2();
+    for query in ["x > -5 && px < 4", "x >= -12", "px <= -8 || x > 11"] {
+        assert_eq!(
+            decoded.query_str(query).unwrap().to_rows(),
+            fresh.query_str(query).unwrap().to_rows(),
+            "{query}"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,132 @@
+//! Golden-file regression test pinning segment format v2 (range encodings).
+//!
+//! Format v2 is what the writer emits when a dataset's indexes carry the
+//! cumulative (range) encoding: the kind-6 range-bitmap sections plus the
+//! range tally in the meta payload. A fixture segment is committed under
+//! `tests/fixtures/` at the repository root; the writer must still produce
+//! it byte-for-byte from the same dual-encoding dataset, and the reader must
+//! decode it with the range encodings attached — so v2 cannot drift any more
+//! than v1 can. The v1 golden test (`store_golden.rs`) is deliberately
+//! untouched: a dataset *without* range encodings must keep producing the v1
+//! fixture bit-exactly, which pins the version-selection logic from both
+//! sides.
+//!
+//! Regenerate deliberately (a v2 format *break*, which requires a new
+//! version constant and fixture) with:
+//! `UPDATE_GOLDEN=1 cargo test -p datastore --test store_golden_v2`.
+
+use datastore::store::{decode_segment, encode_segment, SEGMENT_MAGIC, SEGMENT_VERSION_RANGE};
+use datastore::{Column, Dataset, ParticleTable};
+use fastbit::{ColumnProvider, IndexEncoding, ValueRange};
+use histogram::Binning;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/fixtures/golden_v2.vdx"
+);
+
+/// The same hardcoded eight-row dataset as the v1 golden test — NaN, ±∞,
+/// negatives, two indexed float columns, an id index — with the cumulative
+/// range encoding built on top, which is exactly what flips the writer to
+/// format v2.
+fn golden_dataset() -> Dataset {
+    let x = vec![
+        0.0,
+        0.25,
+        0.5,
+        f64::NAN,
+        1.5,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        2.0,
+    ];
+    let px = vec![-4.0, -3.0, -2.0, -1.0, 1.0, 2.0, 3.0, 4.0];
+    let id = vec![10u64, 11, 12, 13, 14, 15, 16, 17];
+    let table = ParticleTable::from_columns(vec![
+        Column::float("x", x),
+        Column::float("px", px),
+        Column::id("id", id),
+    ])
+    .unwrap();
+    let mut ds = Dataset::from_table(table, 3);
+    ds.build_indexes(&Binning::EqualWidth { bins: 4 }).unwrap();
+    ds.build_id_index().unwrap();
+    assert_eq!(ds.build_range_encodings(), 2);
+    ds
+}
+
+#[test]
+fn golden_v2_fixture_is_read_and_written_bit_exactly() {
+    assert_eq!(
+        SEGMENT_VERSION_RANGE, 2,
+        "v3 needs a new fixture, not an edit"
+    );
+    let bytes = encode_segment(&golden_dataset());
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        SEGMENT_VERSION_RANGE,
+        "a dual-encoding dataset must encode as format v2"
+    );
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(FIXTURE).parent().unwrap()).unwrap();
+        std::fs::write(FIXTURE, &bytes).unwrap();
+        panic!("golden v2 fixture rewritten — commit it and rerun without UPDATE_GOLDEN");
+    }
+
+    let committed =
+        std::fs::read(FIXTURE).unwrap_or_else(|e| panic!("missing golden fixture {FIXTURE}: {e}"));
+    assert_eq!(&committed[..4], SEGMENT_MAGIC);
+    assert_eq!(
+        committed, bytes,
+        "the writer no longer produces format v2 byte-for-byte"
+    );
+
+    let decoded = decode_segment(&committed).expect("committed fixture must decode");
+    let fresh = golden_dataset();
+    assert_eq!(decoded.step(), 3);
+    assert_eq!(decoded.num_particles(), 8);
+    assert_eq!(decoded.indexed_columns(), vec!["px", "x"]);
+    assert!(decoded.id_index().is_some());
+
+    // The reloaded indexes carry the range encoding, and both encodings
+    // answer the behavioural battery identically to a fresh dataset —
+    // including the ±∞ candidate checks through the unbinned list.
+    for name in ["x", "px"] {
+        let reloaded = decoded.index(name).expect("index present");
+        let original = fresh.index(name).unwrap();
+        assert!(reloaded.has_range_encoding(), "range encoding for '{name}'");
+        assert_eq!(
+            reloaded.range_bitmaps().unwrap(),
+            original.range_bitmaps().unwrap(),
+            "cumulative bitmaps for '{name}' are bit-exact"
+        );
+        let data = decoded.column(name).unwrap();
+        for range in [
+            ValueRange::all(),
+            ValueRange::gt(-3.5),
+            ValueRange::le(1.5),
+            ValueRange::between_inclusive(-2.0, 3.0),
+        ] {
+            let eq = reloaded
+                .evaluate_with(&range, data, IndexEncoding::Equality)
+                .unwrap();
+            let rg = reloaded
+                .evaluate_with(&range, data, IndexEncoding::Range)
+                .unwrap();
+            assert_eq!(eq.as_wah(), rg.as_wah(), "'{name}' {range:?}");
+        }
+    }
+    for query in ["x >= 0.5 && px > -3.5", "x > 100", "x < 0", "px <= -1"] {
+        assert_eq!(
+            decoded.query_str(query).unwrap().to_rows(),
+            fresh.query_str(query).unwrap().to_rows(),
+            "{query}"
+        );
+    }
+    assert_eq!(decoded.query_str("x > 1.9").unwrap().to_rows(), vec![5, 7]);
+    assert_eq!(
+        decoded.select_ids(&[11, 16, 99]).unwrap().to_rows(),
+        vec![1, 6]
+    );
+}

@@ -11,7 +11,11 @@
 //! * [`index::BitmapIndex`] — a binned bitmap index over one floating-point
 //!   column: one compressed bitmap per bin, low-precision bin boundaries,
 //!   candidate checks against the raw column for partially covered boundary
-//!   bins.
+//!   bins. Supports two encodings side by side — the equality encoding (one
+//!   bitmap per bin, ORed across the bins a range spans) and an optional
+//!   range (cumulative) encoding answering any bin span with at most two WAH
+//!   operations — with a per-query cost model
+//!   ([`index::BitmapIndex::choose_encoding`]) picking the cheaper one.
 //! * [`index::IdIndex`] — an index over the particle-identifier column that
 //!   answers `ID IN (…)` queries in time proportional to the number of rows
 //!   found, the operation behind particle tracking.
@@ -51,7 +55,7 @@ pub mod wah;
 pub use bitvec::BitVec;
 pub use error::{FastBitError, Result};
 pub use hist::{BinSpec, HistEngine, HistogramEngine};
-pub use index::{BitmapIndex, IdIndex};
+pub use index::{encoding_stats, BitmapIndex, EncodingStatsSnapshot, IdIndex, IndexEncoding};
 pub use par::{ChunkMasks, ParExec, ParStatsSnapshot, Zone, ZoneMaps};
 pub use persist::{PersistError, PersistResult};
 pub use query::{

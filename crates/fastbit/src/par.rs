@@ -13,19 +13,26 @@
 //!   fully inside the query range) is pruned to a full mask;
 //! * only the remaining chunks are scanned row-by-row.
 //!
+//! With [`ParExec::with_index_acceleration`] enabled, a predicate whose
+//! column carries a [`crate::BitmapIndex`] skips chunk scanning altogether:
+//! the index answers the predicate once (the per-query cost model picks the
+//! equality or range encoding) and chunk workers slice their masks out of
+//! that single dense answer.
+//!
 //! Per-chunk masks are merged *in chunk order* into one WAH-compressed
 //! [`Selection`], so the selected row set is a pure function of the data and
-//! the query — independent of thread count, chunk size, and pruning. The
-//! differential suites in `tests/par_differential.rs` and
-//! `tests/zone_map_adversarial.rs` pin exactly that: parallel evaluation can
-//! never silently mean "different answers".
+//! the query — independent of thread count, chunk size, pruning, and index
+//! acceleration. The differential suites in `tests/par_differential.rs`,
+//! `tests/zone_map_adversarial.rs` and `tests/encoding_differential.rs` pin
+//! exactly that: parallel evaluation can never silently mean "different
+//! answers".
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::error::{FastBitError, Result};
-use crate::query::{ColumnProvider, QueryExpr, ValueRange};
+use crate::query::{ColumnProvider, Predicate, QueryExpr, ValueRange};
 use crate::selection::Selection;
 use crate::wah::WahBuilder;
 
@@ -186,6 +193,7 @@ pub struct ParStats {
     chunks_pruned_empty: AtomicU64,
     chunks_pruned_full: AtomicU64,
     chunks_scanned: AtomicU64,
+    chunks_indexed: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`ParStats`].
@@ -199,6 +207,9 @@ pub struct ParStatsSnapshot {
     pub chunks_pruned_full: u64,
     /// Predicate-chunks that had to be scanned row-by-row.
     pub chunks_scanned: u64,
+    /// Predicate-chunks answered by slicing a precomputed bitmap-index
+    /// evaluation (see [`ParExec::with_index_acceleration`]).
+    pub chunks_indexed: u64,
 }
 
 impl ParStats {
@@ -208,6 +219,7 @@ impl ParStats {
             chunks_pruned_empty: self.chunks_pruned_empty.load(Ordering::Relaxed),
             chunks_pruned_full: self.chunks_pruned_full.load(Ordering::Relaxed),
             chunks_scanned: self.chunks_scanned.load(Ordering::Relaxed),
+            chunks_indexed: self.chunks_indexed.load(Ordering::Relaxed),
         }
     }
 }
@@ -220,6 +232,7 @@ pub struct ParExec {
     threads: usize,
     chunk_rows: usize,
     pruning: bool,
+    index_accel: bool,
     stats: Arc<ParStats>,
 }
 
@@ -237,6 +250,7 @@ impl ParExec {
             threads: threads.max(1),
             chunk_rows: chunk_rows.max(1),
             pruning: true,
+            index_accel: false,
             stats: Arc::new(ParStats::default()),
         }
     }
@@ -251,6 +265,25 @@ impl ParExec {
     pub fn without_pruning(mut self) -> Self {
         self.pruning = false;
         self
+    }
+
+    /// Enable (or disable) bitmap-index acceleration: a predicate whose
+    /// column has a [`crate::BitmapIndex`] is evaluated *once* through the
+    /// index — the per-query encoding cost model
+    /// ([`crate::BitmapIndex::choose_encoding`]) picks equality or range
+    /// encoding — and the chunk workers slice their masks out of that one
+    /// answer instead of scanning rows. Off by default so the engine keeps
+    /// its historical pure-scan semantics (and so the `Custom` scan baseline
+    /// stays a baseline even on cached datasets that carry indexes). The
+    /// selected row set is byte-identical either way; only the work changes.
+    pub fn with_index_acceleration(mut self, on: bool) -> Self {
+        self.index_accel = on;
+        self
+    }
+
+    /// Whether bitmap-index acceleration is enabled.
+    pub fn index_acceleration(&self) -> bool {
+        self.index_accel
     }
 
     /// Number of worker threads.
@@ -524,10 +557,74 @@ impl ChunkMasks {
 // Chunked evaluation
 // ---------------------------------------------------------------------------
 
+/// Collect references to every predicate of `expr`, in evaluation order.
+fn collect_predicates<'e>(expr: &'e QueryExpr, out: &mut Vec<&'e Predicate>) {
+    match expr {
+        QueryExpr::Pred(p) => out.push(p),
+        QueryExpr::And(v) | QueryExpr::Or(v) => {
+            for e in v {
+                collect_predicates(e, out);
+            }
+        }
+        QueryExpr::Not(e) => collect_predicates(e, out),
+    }
+}
+
+/// Expand a [`Selection`] into a dense little-endian word bitmap, the form
+/// chunk workers can slice in O(words) per chunk. Bulk run expansion: cost
+/// is proportional to the dataset size, not to the number of selected rows.
+fn selection_words(selection: &Selection) -> Vec<u64> {
+    let mut words = vec![0u64; words_for(selection.num_rows())];
+    selection.as_wah().write_dense_words(&mut words);
+    words
+}
+
+/// Extract bits `[start, start + len)` of a dense word bitmap into a fresh
+/// chunk-local word vector (padding bits cleared).
+fn slice_bits(words: &[u64], start: usize, len: usize) -> Vec<u64> {
+    let mut out = vec![0u64; words_for(len)];
+    let base = start / 64;
+    let shift = start % 64;
+    for (j, slot) in out.iter_mut().enumerate() {
+        let lo = words.get(base + j).copied().unwrap_or(0);
+        *slot = if shift == 0 {
+            lo
+        } else {
+            let hi = words.get(base + j + 1).copied().unwrap_or(0);
+            (lo >> shift) | (hi << (64 - shift))
+        };
+    }
+    mask_padding(&mut out, len);
+    out
+}
+
+/// Dense per-predicate answers precomputed through bitmap indexes. Chunk
+/// workers look answers up by the predicate's address within the expression
+/// tree (stable for the whole evaluation, an integer comparison instead of
+/// re-rendering the predicate per chunk); textually identical predicates
+/// share one evaluation and one dense bitmap.
+#[derive(Default)]
+struct IndexedPredicates {
+    /// Predicate address → slot in `words`.
+    by_pred: BTreeMap<usize, usize>,
+    words: Vec<Vec<u64>>,
+}
+
+impl IndexedPredicates {
+    fn get(&self, pred: &Predicate) -> Option<&[u64]> {
+        self.by_pred
+            .get(&(pred as *const Predicate as usize))
+            .map(|&slot| self.words[slot].as_slice())
+    }
+}
+
 /// Evaluate `expr` chunk-by-chunk over `exec`'s pool and return the per-chunk
 /// masks. Zone maps are taken from the provider when it has them at this
 /// chunk size (see [`ColumnProvider::zone_maps`]) and computed on the fly
-/// from each chunk's slice otherwise.
+/// from each chunk's slice otherwise. With
+/// [`ParExec::with_index_acceleration`] enabled, predicates whose column has
+/// a bitmap index are answered once through the index (encoding chosen by
+/// the per-query cost model) and sliced per chunk.
 pub fn evaluate_chunk_masks(
     expr: &QueryExpr,
     provider: &(impl ColumnProvider + Sync),
@@ -558,12 +655,41 @@ pub fn evaluate_chunk_masks(
         );
         columns.insert(name, data);
     }
+    // Index acceleration: answer each indexed predicate once, exactly (the
+    // candidate check runs against the raw column), before any chunk work.
+    let mut indexed = IndexedPredicates::default();
+    if exec.index_accel {
+        let mut predicates = Vec::new();
+        collect_predicates(expr, &mut predicates);
+        let mut by_key: BTreeMap<String, usize> = BTreeMap::new();
+        for pred in predicates {
+            let (Some(index), Some(data)) = (
+                provider.index(&pred.column),
+                columns.get(pred.column.as_str()),
+            ) else {
+                continue;
+            };
+            let slot = match by_key.get(&pred.to_string()) {
+                Some(&slot) => slot,
+                None => {
+                    let selection = index.evaluate(&pred.range, data)?;
+                    indexed.words.push(selection_words(&selection));
+                    let slot = indexed.words.len() - 1;
+                    by_key.insert(pred.to_string(), slot);
+                    slot
+                }
+            };
+            indexed
+                .by_pred
+                .insert(pred as *const Predicate as usize, slot);
+        }
+    }
     let num_chunks = num_rows.div_ceil(chunk_rows);
     exec.stats.queries.fetch_add(1, Ordering::Relaxed);
     let masks = exec.run_chunks(num_chunks, |chunk| {
         let start = chunk * chunk_rows;
         let len = chunk_rows.min(num_rows - start);
-        eval_expr_chunk(expr, &columns, &zones, exec, chunk, start, len)
+        eval_expr_chunk(expr, &columns, &zones, &indexed, exec, chunk, start, len)
     })?;
     Ok(ChunkMasks {
         chunk_rows,
@@ -584,10 +710,12 @@ pub fn evaluate_chunked(
     Ok(evaluate_chunk_masks(expr, provider, exec)?.to_selection())
 }
 
+#[allow(clippy::too_many_arguments)] // internal chunk-worker plumbing
 fn eval_expr_chunk(
     expr: &QueryExpr,
     columns: &BTreeMap<String, &[f64]>,
     zones: &BTreeMap<String, Option<Arc<ZoneMaps>>>,
+    indexed: &IndexedPredicates,
     exec: &ParExec,
     chunk: usize,
     start: usize,
@@ -595,6 +723,10 @@ fn eval_expr_chunk(
 ) -> Result<Mask> {
     match expr {
         QueryExpr::Pred(p) => {
+            if let Some(words) = indexed.get(p) {
+                exec.stats.chunks_indexed.fetch_add(1, Ordering::Relaxed);
+                return Ok(Mask::Bits(slice_bits(words, start, len)).normalized(len));
+            }
             let data = columns
                 .get(p.column.as_str())
                 .ok_or_else(|| FastBitError::UnknownColumn(p.column.clone()))?;
@@ -635,7 +767,7 @@ fn eval_expr_chunk(
         QueryExpr::And(children) => {
             let mut acc: Option<Mask> = None;
             for child in children {
-                let m = eval_expr_chunk(child, columns, zones, exec, chunk, start, len)?;
+                let m = eval_expr_chunk(child, columns, zones, indexed, exec, chunk, start, len)?;
                 acc = Some(match acc {
                     None => m,
                     Some(prev) => prev.and(m, len),
@@ -646,7 +778,7 @@ fn eval_expr_chunk(
         QueryExpr::Or(children) => {
             let mut acc: Option<Mask> = None;
             for child in children {
-                let m = eval_expr_chunk(child, columns, zones, exec, chunk, start, len)?;
+                let m = eval_expr_chunk(child, columns, zones, indexed, exec, chunk, start, len)?;
                 acc = Some(match acc {
                     None => m,
                     Some(prev) => prev.or(m, len),
@@ -655,7 +787,7 @@ fn eval_expr_chunk(
             Ok(acc.unwrap_or(Mask::Empty))
         }
         QueryExpr::Not(inner) => {
-            Ok(eval_expr_chunk(inner, columns, zones, exec, chunk, start, len)?.not(len))
+            Ok(eval_expr_chunk(inner, columns, zones, indexed, exec, chunk, start, len)?.not(len))
         }
     }
 }
@@ -814,6 +946,76 @@ mod tests {
         let got = evaluate_chunked(&expr, &p, &ParExec::new(4, 16)).unwrap();
         assert_eq!(got.num_rows(), 0);
         assert!(got.is_none_selected());
+    }
+
+    #[test]
+    fn slice_bits_extracts_arbitrary_ranges() {
+        // A recognizable pattern: bits 0, 64, 65, 100, 127, 130 over 131 bits.
+        let mut words = vec![0u64; 3];
+        for bit in [0usize, 64, 65, 100, 127, 130] {
+            words[bit / 64] |= 1 << (bit % 64);
+        }
+        for (start, len) in [(0, 131), (1, 130), (63, 5), (64, 64), (100, 31), (130, 1)] {
+            let sliced = slice_bits(&words, start, len);
+            for i in 0..len {
+                let bit = start + i;
+                let expected = [0usize, 64, 65, 100, 127, 130].contains(&bit);
+                let got = sliced[i / 64] >> (i % 64) & 1 == 1;
+                assert_eq!(got, expected, "start {start} len {len} bit {bit}");
+            }
+            // Padding bits beyond len are clear.
+            if len % 64 != 0 {
+                assert_eq!(sliced[len / 64] & !((1u64 << (len % 64)) - 1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn index_acceleration_matches_scan_byte_for_byte() {
+        use crate::index::BitmapIndex;
+        use histogram::Binning;
+
+        struct IndexedProvider {
+            inner: MemProvider,
+            indexes: HashMap<String, BitmapIndex>,
+        }
+        impl ColumnProvider for IndexedProvider {
+            fn num_rows(&self) -> usize {
+                self.inner.num_rows()
+            }
+            fn column(&self, name: &str) -> Option<&[f64]> {
+                self.inner.column(name)
+            }
+            fn index(&self, name: &str) -> Option<&BitmapIndex> {
+                self.indexes.get(name)
+            }
+        }
+
+        let mut x: Vec<f64> = (0..3000).map(|i| ((i * 37) % 500) as f64).collect();
+        x[5] = f64::NAN;
+        x[9] = f64::INFINITY;
+        let index = BitmapIndex::build(&x, &Binning::EqualWidth { bins: 32 })
+            .unwrap()
+            .with_range_encoding()
+            .unwrap();
+        let p = IndexedProvider {
+            inner: MemProvider::new(vec![("x", x)]),
+            indexes: HashMap::from([("x".to_string(), index)]),
+        };
+        let expr = QueryExpr::pred("x", ValueRange::between(30.0, 470.0))
+            .and(QueryExpr::pred("x", ValueRange::le(400.0)).not());
+        let plain = ParExec::new(2, 97);
+        let reference = evaluate_chunked(&expr, &p, &plain).unwrap();
+        for threads in [1usize, 4] {
+            let accel = ParExec::new(threads, 97).with_index_acceleration(true);
+            let got = evaluate_chunked(&expr, &p, &accel).unwrap();
+            // Identical WAH selection words, not merely the same rows.
+            assert_eq!(got.as_wah(), reference.as_wah(), "threads {threads}");
+            let stats = accel.stats();
+            assert!(stats.chunks_indexed > 0, "index path actually ran");
+            assert_eq!(stats.chunks_scanned, 0, "no chunk fell back to a scan");
+        }
+        assert_eq!(plain.stats().chunks_indexed, 0);
     }
 
     #[test]

@@ -359,6 +359,45 @@ pub fn decode_index(bytes: &[u8]) -> PersistResult<BitmapIndex> {
 }
 
 // ---------------------------------------------------------------------------
+// Range (cumulative) bitmaps
+// ---------------------------------------------------------------------------
+
+/// Append one index's cumulative (range-encoded) bitmaps: bitmap count then
+/// each WAH vector in its already-compressed form. The equality encoding of
+/// the same index is persisted separately by [`encode_index`]; segment
+/// format v2 stores the two under different section tags so a v1 reader's
+/// section-kind validation naturally rejects what it cannot interpret.
+pub fn encode_range_bitmaps(cumulative: &[Wah], out: &mut Vec<u8>) {
+    put_u32(out, cumulative.len() as u32);
+    for wah in cumulative {
+        encode_wah(wah, out);
+    }
+}
+
+/// Read one index's cumulative bitmaps. Each WAH vector is structurally
+/// validated here; the *cumulative* property against the owning index's
+/// equality bitmaps is enforced by
+/// [`BitmapIndex::attach_range_bitmaps`].
+pub fn read_range_bitmaps(r: &mut Reader<'_>) -> PersistResult<Vec<Wah>> {
+    let count = r.u32("range bitmap count")? as u64;
+    // A serialized empty-but-present bitmap takes at least 12 bytes.
+    let count = r.check_count(count, 12, "range bitmaps")?;
+    let mut cumulative = Vec::with_capacity(count);
+    for _ in 0..count {
+        cumulative.push(read_wah(r)?);
+    }
+    Ok(cumulative)
+}
+
+/// Decode one index's cumulative bitmaps from a standalone buffer.
+pub fn decode_range_bitmaps(bytes: &[u8]) -> PersistResult<Vec<Wah>> {
+    let mut r = Reader::new(bytes);
+    let cumulative = read_range_bitmaps(&mut r)?;
+    r.expect_end("range bitmaps")?;
+    Ok(cumulative)
+}
+
+// ---------------------------------------------------------------------------
 // IdIndex
 // ---------------------------------------------------------------------------
 
@@ -554,6 +593,32 @@ mod tests {
         put_u32(&mut hostile, u32::MAX); // boundary count
         assert!(matches!(
             decode_index(&hostile),
+            Err(PersistError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn range_bitmaps_roundtrip_and_reject_garbage() {
+        let idx = sample_index(400).with_range_encoding().unwrap();
+        let cumulative = idx.range_bitmaps().unwrap();
+        let mut buf = Vec::new();
+        encode_range_bitmaps(cumulative, &mut buf);
+        let back = decode_range_bitmaps(&buf).unwrap();
+        assert_eq!(back, cumulative);
+        // Attaching the decoded set to a structurally identical index passes
+        // the cumulative-tally validation.
+        let mut fresh = sample_index(400);
+        fresh.attach_range_bitmaps(back).unwrap();
+        assert!(fresh.has_range_encoding());
+        // Truncations are typed errors, never panics.
+        for cut in 0..buf.len() {
+            assert!(decode_range_bitmaps(&buf[..cut]).is_err());
+        }
+        // Hostile count fails before allocating.
+        let mut hostile = Vec::new();
+        put_u32(&mut hostile, u32::MAX);
+        assert!(matches!(
+            decode_range_bitmaps(&hostile),
             Err(PersistError::Oversized { .. })
         ));
     }

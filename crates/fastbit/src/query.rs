@@ -183,6 +183,27 @@ impl fmt::Display for Predicate {
 }
 
 /// A compound Boolean combination of range predicates.
+///
+/// ```
+/// use fastbit::{parse_query, QueryExpr, ValueRange};
+///
+/// // Build programmatically or parse the paper's textual form — both yield
+/// // the same expression tree.
+/// let built = QueryExpr::pred("px", ValueRange::gt(1e9))
+///     .and(QueryExpr::pred("y", ValueRange::gt(0.0)));
+/// let parsed = parse_query("px > 1e9 && y > 0").unwrap();
+/// assert_eq!(built, parsed);
+///
+/// // Display round-trips through the parser, and normalization makes the
+/// // cache key order-insensitive.
+/// assert_eq!(parse_query(&parsed.to_string()).unwrap(), parsed);
+/// let swapped = parse_query("y > 0 && px > 1e9").unwrap();
+/// assert_eq!(parsed.cache_key(), swapped.cache_key());
+///
+/// // The referenced columns drive the pipeline's column-projection contract.
+/// let columns: Vec<String> = parsed.columns().into_iter().collect();
+/// assert_eq!(columns, vec!["px".to_string(), "y".to_string()]);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryExpr {
     /// A single range condition.

@@ -419,6 +419,57 @@ impl Wah {
         Ok(result)
     }
 
+    /// Expand into a dense little-endian `u64` word bitmap: bit `i` of the
+    /// output (word `i / 64`, bit `i % 64`) is set iff bit `i` of this
+    /// vector is. `out` must hold at least `len().div_ceil(64)` words and
+    /// should be zeroed; bits beyond the logical length are left untouched.
+    ///
+    /// Runs are emitted in bulk — a fill of ones becomes whole `!0` words —
+    /// so the cost is proportional to the *output* size, not to the number
+    /// of set bits. This is what the chunked engine's index acceleration
+    /// uses to turn one index answer into sliceable chunk masks.
+    pub fn write_dense_words(&self, out: &mut [u64]) {
+        fn set_bit_range(out: &mut [u64], start: u64, end: u64) {
+            if start >= end {
+                return;
+            }
+            let (first, last) = (start as usize / 64, (end as usize - 1) / 64);
+            let head = !0u64 << (start % 64);
+            let tail = !0u64 >> (63 - ((end - 1) % 64));
+            if first == last {
+                out[first] |= head & tail;
+                return;
+            }
+            out[first] |= head;
+            for w in &mut out[first + 1..last] {
+                *w = !0;
+            }
+            out[last] |= tail;
+        }
+
+        let mut bit = 0u64;
+        let mut cursor = RunCursor::new(&self.words);
+        while let Some((pattern, groups, is_fill)) = cursor.take(u64::MAX) {
+            if is_fill {
+                let span = groups * GROUP_BITS;
+                if pattern != 0 {
+                    set_bit_range(out, bit, (bit + span).min(self.nbits));
+                }
+                bit += span;
+            } else {
+                let mut p = pattern;
+                while p != 0 {
+                    let pos = bit + p.trailing_zeros() as u64;
+                    p &= p - 1;
+                    if pos < self.nbits {
+                        out[pos as usize / 64] |= 1u64 << (pos % 64);
+                    }
+                }
+                bit += GROUP_BITS;
+            }
+        }
+    }
+
     /// The raw compressed words, for serialization.
     pub fn as_words(&self) -> &[u32] {
         &self.words
@@ -668,6 +719,42 @@ mod tests {
         } else {
             rng.gen_range(1..500)
         }
+    }
+
+    #[test]
+    fn write_dense_words_matches_iter_ones() {
+        let mut rng = StdRng::seed_from_u64(0xDE45E);
+        for case in 0..200 {
+            let len = if case == 0 {
+                0
+            } else {
+                interesting_length(&mut rng, case)
+            };
+            let bits = random_bools(&mut rng, len, DENSITIES[case % DENSITIES.len()]);
+            let w = Wah::from_bools(&bits);
+            let mut dense = vec![0u64; len.div_ceil(64)];
+            w.write_dense_words(&mut dense);
+            for (i, &b) in bits.iter().enumerate() {
+                let got = dense[i / 64] >> (i % 64) & 1 == 1;
+                assert_eq!(got, b, "case {case} len {len} bit {i}");
+            }
+            // Bits beyond the logical length stay clear.
+            if len % 64 != 0 {
+                assert_eq!(
+                    dense[len / 64] & !((1u64 << (len % 64)) - 1),
+                    0,
+                    "case {case}"
+                );
+            }
+        }
+        // Long fills exercise the whole-word bulk path.
+        let ones = Wah::ones(100_000);
+        let mut dense = vec![0u64; 100_000usize.div_ceil(64)];
+        ones.write_dense_words(&mut dense);
+        assert_eq!(
+            dense.iter().map(|w| w.count_ones() as u64).sum::<u64>(),
+            100_000
+        );
     }
 
     #[test]

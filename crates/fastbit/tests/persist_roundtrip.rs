@@ -215,6 +215,68 @@ fn compound_query_battery_is_byte_identical_after_reload() {
     }
 }
 
+/// Dual-encoding indexes pushed through the persist codecs — equality via
+/// `encode_index`/`decode_index`, cumulative bitmaps via
+/// `encode_range_bitmaps`/`decode_range_bitmaps` + attach — must come back
+/// with bit-exact WAH words for both encodings and answer the compound
+/// battery byte-identically under the cost-selected Auto path.
+#[test]
+fn range_encoded_indexes_survive_reload_byte_identically() {
+    use fastbit::persist::{decode_range_bitmaps, encode_range_bitmaps};
+
+    let n = 2500;
+    let mut p = provider(n, 0xDA7A);
+    for idx in p.indexes.values_mut() {
+        idx.build_range_encoding().unwrap();
+    }
+    let mut reloaded_indexes = HashMap::new();
+    for (name, idx) in &p.indexes {
+        let mut buf = Vec::new();
+        encode_index(idx, &mut buf);
+        let mut back = decode_index(&buf).unwrap();
+        let mut rbuf = Vec::new();
+        encode_range_bitmaps(idx.range_bitmaps().unwrap(), &mut rbuf);
+        back.attach_range_bitmaps(decode_range_bitmaps(&rbuf).unwrap())
+            .unwrap();
+        for (bin, (a, b)) in idx
+            .range_bitmaps()
+            .unwrap()
+            .iter()
+            .zip(back.range_bitmaps().unwrap())
+            .enumerate()
+        {
+            assert_eq!(
+                a.as_words(),
+                b.as_words(),
+                "{name} cumulative bin {bin}: WAH words byte-identical"
+            );
+        }
+        reloaded_indexes.insert(name.clone(), back);
+    }
+    let r = MemProvider {
+        columns: p.columns.clone(),
+        indexes: reloaded_indexes,
+        rows: p.rows,
+    };
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    for round in 0..40 {
+        let expr = random_expr(&mut rng, &p, 3);
+        let oracle = evaluate_with_strategy(&expr, &p, ExecStrategy::ScanOnly).unwrap();
+        let original = evaluate_with_strategy(&expr, &p, ExecStrategy::Auto).unwrap();
+        let from_disk = evaluate_with_strategy(&expr, &r, ExecStrategy::Auto).unwrap();
+        assert_eq!(
+            from_disk.to_rows(),
+            oracle.to_rows(),
+            "round {round}: {expr}"
+        );
+        assert_eq!(
+            from_disk.as_wah().as_words(),
+            original.as_wah().as_words(),
+            "round {round}: dual-encoding WAH selection words: {expr}"
+        );
+    }
+}
+
 #[test]
 fn chunked_parallel_engine_agrees_on_reloaded_providers() {
     let n = 2000;

@@ -4,7 +4,8 @@
 //! ```text
 //! vdx-server serve --dir DIR [--addr 127.0.0.1:7878] [--workers N]
 //!                  [--cache-mb MB] [--query-cache N] [--nodes N]
-//!                  [--threads N] [--chunk-rows N] [--store-dir DIR]
+//!                  [--threads N] [--chunk-rows N] [--index-accel]
+//!                  [--store-dir DIR]
 //! vdx-server query --addr HOST:PORT <verb> [field ...]
 //! vdx-server smoke [--dir DIR] [--store-dir DIR]
 //! vdx-server bench [--clients N] [--rounds N] [--particles N] [--timesteps N]
@@ -47,6 +48,7 @@ fn server_config(args: &[String]) -> ServerConfig {
         nodes: parsed_flag(args, "--nodes", defaults.nodes),
         threads: parsed_flag(args, "--threads", defaults.threads),
         chunk_rows: parsed_flag(args, "--chunk-rows", defaults.chunk_rows),
+        index_accel: args.iter().any(|a| a == "--index-accel"),
         dataset_cache: DatasetCacheConfig {
             max_bytes: parsed_flag(args, "--cache-mb", 256usize) << 20,
             shards: defaults.dataset_cache.shards,
@@ -67,7 +69,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: vdx-server <serve|query|smoke|bench> [options]\n\
-                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--store-dir DIR]\n\
+                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--index-accel] [--store-dir DIR]\n\
                  \x20 query --addr HOST:PORT <verb> [field ...]\n\
                  \x20 smoke [--dir DIR] [--store-dir DIR]\n\
                  \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N]"

@@ -8,6 +8,12 @@
 //! the query results, so they can be compared byte-for-byte against replies
 //! assembled from direct [`vdx_core::DataExplorer`] calls.
 //!
+//! The **normative specification** — full reply grammar, per-verb
+//! semantics, error forms, and every `STATS` field — lives in
+//! `docs/PROTOCOL.md` at the repository root; `tests/protocol_doc.rs`
+//! asserts that every [`Request`] variant and every emitted `STATS` field is
+//! documented there. The table below is a quick reference only.
+//!
 //! | Request | Reply |
 //! |---|---|
 //! | `PING` | `OK\tPONG` |

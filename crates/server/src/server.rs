@@ -44,6 +44,10 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Rows per evaluation chunk of the parallel engine.
     pub chunk_rows: usize,
+    /// Let the chunked parallel engine answer predicates through bitmap
+    /// indexes (per-query equality/range encoding selection) instead of
+    /// scanning chunks. Results are byte-identical either way.
+    pub index_accel: bool,
     /// Execution engine for query evaluation and histograms.
     pub engine: HistEngine,
     /// Budget and sharding of the resident dataset cache.
@@ -59,6 +63,7 @@ impl Default for ServerConfig {
             nodes: 2,
             threads: 1,
             chunk_rows: fastbit::par::DEFAULT_CHUNK_ROWS,
+            index_accel: false,
             engine: HistEngine::FastBit,
             dataset_cache: DatasetCacheConfig::default(),
             query_cache_entries: 1024,
@@ -302,6 +307,8 @@ impl ServerState {
             .store()
             .map(|s| s.stats())
             .unwrap_or_default();
+        let enc = fastbit::encoding_stats();
+        let (enc_equality_bytes, enc_range_bytes) = self.datasets.encoding_bytes();
         let mut fields = vec![
             format!("par_threads={}", self.explorer.par_exec().threads()),
             format!("par_chunk_rows={}", self.explorer.par_exec().chunk_rows()),
@@ -309,6 +316,11 @@ impl ServerState {
             format!("par_chunks_pruned_empty={}", par.chunks_pruned_empty),
             format!("par_chunks_pruned_full={}", par.chunks_pruned_full),
             format!("par_chunks_scanned={}", par.chunks_scanned),
+            format!("par_chunks_indexed={}", par.chunks_indexed),
+            format!("enc_equality_queries={}", enc.equality_queries),
+            format!("enc_range_queries={}", enc.range_queries),
+            format!("enc_equality_bytes={enc_equality_bytes}"),
+            format!("enc_range_bytes={enc_range_bytes}"),
             format!("ds_hits={}", ds.hits),
             format!("ds_misses={}", ds.misses),
             format!("ds_evictions={}", ds.evictions),
@@ -382,6 +394,7 @@ impl Server {
                 engine: config.engine,
                 threads: config.threads,
                 chunk_rows: config.chunk_rows,
+                index_accel: config.index_accel,
                 ..Default::default()
             },
         )
@@ -616,6 +629,24 @@ mod tests {
         // Queries after warming answer from resident, store-loaded datasets.
         let (select, _) = state.handle_line("SELECT\t5\tpx > 0");
         assert!(select.starts_with("OK\tSELECT\t"));
+
+        // The warm datasets came from format-v2 segments, so both index
+        // encodings are resident and reported; the wide open-ended query
+        // above is exactly the shape the range encoding answers.
+        let (stats, _) = state.handle_line("STATS");
+        let field = |name: &str| -> u64 {
+            stats
+                .split('\t')
+                .find_map(|f| f.strip_prefix(&format!("{name}=")))
+                .unwrap_or_else(|| panic!("missing {name} in {stats}"))
+                .parse()
+                .unwrap()
+        };
+        assert!(field("enc_equality_bytes") > 0, "{stats}");
+        assert!(field("enc_range_bytes") > 0, "{stats}");
+        // The encoding counters are process-wide and monotonic; at least the
+        // queries this test just ran must have been counted.
+        assert!(field("enc_equality_queries") + field("enc_range_queries") > 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,125 @@
+//! `docs/PROTOCOL.md` is the normative wire-protocol specification; this
+//! suite keeps it honest in both directions:
+//!
+//! * every [`Request`] variant the server can parse must be documented (an
+//!   exhaustive `match` makes adding a variant without touching this test a
+//!   compile error), and
+//! * every field a real `STATS` reply emits must be documented — either
+//!   verbatim (`store_hits`) or through the per-operation template
+//!   (`<op>_p50_us` with the op named in the spec).
+
+use std::sync::Arc;
+
+use datastore::Catalog;
+use histogram::Binning;
+use lwfa::{SimConfig, Simulation};
+use vdx_server::{parse_stats, Request, Server, ServerConfig};
+
+const PROTOCOL_DOC: &str = include_str!("../../../docs/PROTOCOL.md");
+
+/// The wire verb of each request variant. Exhaustive on purpose: a new
+/// variant fails compilation here until it is mapped — and the test body
+/// then fails until the verb is documented.
+fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "PING",
+        Request::Info => "INFO",
+        Request::Stats => "STATS",
+        Request::Select { .. } => "SELECT",
+        Request::Refine { .. } => "REFINE",
+        Request::Hist { .. } => "HIST",
+        Request::Track { .. } => "TRACK",
+        Request::Save => "SAVE",
+        Request::Warm => "WARM",
+        Request::Quit => "QUIT",
+        Request::Shutdown => "SHUTDOWN",
+    }
+}
+
+/// One representative of every `Request` variant.
+fn all_requests() -> Vec<Request> {
+    vec![
+        Request::Ping,
+        Request::Info,
+        Request::Stats,
+        Request::Select {
+            step: 0,
+            query: "px > 0".into(),
+        },
+        Request::Refine {
+            step: 0,
+            ids: vec![1],
+            query: "px > 0".into(),
+        },
+        Request::Hist {
+            step: 0,
+            column: "px".into(),
+            bins: 8,
+            condition: None,
+        },
+        Request::Track { ids: vec![1] },
+        Request::Save,
+        Request::Warm,
+        Request::Quit,
+        Request::Shutdown,
+    ]
+}
+
+#[test]
+fn every_request_variant_is_documented() {
+    for request in all_requests() {
+        let verb = verb_of(&request);
+        assert!(
+            PROTOCOL_DOC.contains(&format!("`{verb}")),
+            "verb {verb} is not documented in docs/PROTOCOL.md"
+        );
+    }
+    // The reply statuses and the error form are specified too.
+    for token in ["OK", "ERR", "`OK\\tBYE`", "ERR\\t<message>"] {
+        assert!(
+            PROTOCOL_DOC.contains(token),
+            "reply token {token} missing from docs/PROTOCOL.md"
+        );
+    }
+}
+
+#[test]
+fn every_stats_field_is_documented() {
+    // A real STATS reply from a real server over a tiny catalog.
+    let dir = std::env::temp_dir().join(format!("vdx_protocol_doc_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).unwrap();
+    let mut config = SimConfig::tiny();
+    config.particles_per_step = 100;
+    config.num_timesteps = 2;
+    Simulation::new(config)
+        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 8 }))
+        .unwrap();
+    let server = Server::bind(Arc::new(catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let state = handle.state();
+    // Touch a few operations so every metric family is exercised.
+    state.handle_line("SELECT\t0\tpx > 0");
+    state.handle_line("HIST\t0\tpx\t8");
+    let (stats, _) = state.handle_line("STATS");
+    assert!(stats.starts_with("OK\tSTATS\t"), "{stats}");
+
+    const OPS: [&str; 5] = ["select", "refine", "hist", "track", "meta"];
+    let fields = parse_stats(&stats);
+    assert!(!fields.is_empty());
+    for key in fields.keys() {
+        // Literal documentation, or the per-op template with the op named.
+        let documented_literally = PROTOCOL_DOC.contains(&format!("`{key}`"));
+        let documented_by_template = OPS.iter().any(|op| {
+            key.strip_prefix(&format!("{op}_")).is_some_and(|suffix| {
+                PROTOCOL_DOC.contains(&format!("`<op>_{suffix}`"))
+                    && PROTOCOL_DOC.contains(&format!("`{op}`"))
+            })
+        });
+        assert!(
+            documented_literally || documented_by_template,
+            "STATS field '{key}' is not documented in docs/PROTOCOL.md"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
