@@ -90,6 +90,7 @@ fn main() {
     fig12_conditional_histograms(&args);
     fig13_id_queries(&args);
     fig_index_encoding(&args);
+    fig_query_compile(&args);
     fig_par_engine(&args);
     fig_store_warmstart(&args);
     fig14_15_parallel_histograms(&args);
@@ -420,6 +421,122 @@ fn fig_index_encoding(args: &Args) {
     )
     .unwrap();
     write_bench_json(&args.out, "BENCH_index_encoding.json", &records).unwrap();
+}
+
+/// Compiled bytecode kernels vs the tree-walk evaluator, on compound
+/// expressions of growing depth. The deep (9-predicate) expression repeats
+/// predicates across its `||` branches, so the compiler's slot sharing
+/// evaluates each distinct predicate once where the tree-walk re-scans every
+/// occurrence. Correctness is oracle-asserted before any timing is reported:
+/// the compiled selection must carry bit-identical WAH words to the
+/// tree-walk of the normalized expression and the row set of a raw scan.
+fn fig_query_compile(args: &Args) {
+    use fastbit::compile::Program;
+    use fastbit::{evaluate_with_strategy, ExecStrategy};
+
+    println!("\n== Query compilation: fused bytecode kernels vs tree-walk ==");
+    let dataset = serial_dataset(args.particles);
+    let t_hi = threshold_for_hits(&dataset, args.particles / 100);
+    let t_lo = threshold_for_hits(&dataset, args.particles / 4);
+    let pred = |c: &str, r: ValueRange| QueryExpr::pred(c, r);
+    let beam = pred("px", ValueRange::gt(t_hi));
+    let shallow = beam.clone().and(pred("y", ValueRange::gt(0.0)));
+    // Nine predicate occurrences, six distinct: `px > t_hi` and `y > 0`
+    // recur across the branches.
+    let deep = QueryExpr::Or(vec![
+        QueryExpr::And(vec![
+            beam.clone(),
+            pred("y", ValueRange::gt(0.0)),
+            pred("py", ValueRange::gt(0.0)),
+        ]),
+        QueryExpr::And(vec![
+            beam.clone(),
+            pred("y", ValueRange::gt(0.0)).not(),
+            pred("pz", ValueRange::le(0.0)),
+        ]),
+        QueryExpr::And(vec![
+            beam,
+            pred("px", ValueRange::le(t_lo)).not(),
+            pred("x", ValueRange::gt(0.0)),
+        ]),
+    ]);
+
+    println!(
+        "{:>10} {:>6} {:>14} {:>14} {:>14} {:>10}",
+        "expr", "preds", "tree_s", "compiled_s", "compile_s", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut deep_speedup_ok = true;
+    for (label, expr, preds) in [("shallow", &shallow, 2usize), ("deep", &deep, 9)] {
+        let program = Program::compile(expr);
+        // Oracle before timing: byte-identical words to the tree-walk of
+        // the normalized expression, row-identical to the raw scan.
+        let compiled = fastbit::compile::execute(&program, &dataset, ExecStrategy::ScanOnly)
+            .expect("compiled evaluation");
+        let tree = evaluate_with_strategy(&expr.normalized(), &dataset, ExecStrategy::ScanOnly)
+            .expect("tree-walk evaluation");
+        assert_eq!(
+            compiled.as_wah(),
+            tree.as_wah(),
+            "{label}: compiled selection words diverged from the tree-walk"
+        );
+        let scanned = scan::scan_query(expr, &dataset).expect("scan oracle");
+        assert_eq!(
+            compiled.to_rows(),
+            scanned.to_rows(),
+            "{label}: compiled row set diverged from the scan oracle"
+        );
+
+        let (_, tree_t) = time_stats(args.samples, || {
+            evaluate_with_strategy(expr, &dataset, ExecStrategy::ScanOnly).unwrap()
+        });
+        let (_, fused_t) = time_stats(args.samples, || {
+            fastbit::compile::execute(&program, &dataset, ExecStrategy::ScanOnly).unwrap()
+        });
+        let (_, build_t) = time_stats(args.samples, || Program::compile(expr));
+        let speedup = tree_t.median_s / fused_t.median_s.max(1e-12);
+        println!(
+            "{:>10} {:>6} {:>14.6} {:>14.6} {:>14.9} {:>10.2}",
+            label, preds, tree_t.median_s, fused_t.median_s, build_t.median_s, speedup
+        );
+        rows.push(format!(
+            "{label},{preds},{},{},{}",
+            tree_t.median_s, fused_t.median_s, build_t.median_s
+        ));
+        records.push(BenchRecord::new(
+            format!("compile_tree_{label}"),
+            preds,
+            tree_t,
+        ));
+        records.push(BenchRecord::new(
+            format!("compile_fused_{label}"),
+            preds,
+            fused_t,
+        ));
+        records.push(BenchRecord::new(
+            format!("compile_build_{label}"),
+            preds,
+            build_t,
+        ));
+        // Only judge measurable runs: micro-runs in CI are noise below a
+        // couple of milliseconds.
+        if label == "deep" && tree_t.median_s > 2e-3 && speedup < 1.5 {
+            deep_speedup_ok = false;
+        }
+    }
+    assert!(
+        deep_speedup_ok,
+        "compiled kernels must be >=1.5x the tree-walk on deep compound expressions"
+    );
+    write_csv(
+        &args.out,
+        "query_compile.csv",
+        "expr,preds,tree_s,compiled_s,compile_s",
+        &rows,
+    )
+    .unwrap();
+    write_bench_json(&args.out, "BENCH_query_compile.json", &records).unwrap();
 }
 
 /// Sequential-vs-parallel chunked engine: one SELECT and one conditional 1D

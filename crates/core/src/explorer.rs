@@ -4,7 +4,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use datastore::{Catalog, Dataset, DatasetCache};
-use fastbit::{parse_query, BinSpec, HistEngine, ParExec, ParStatsSnapshot, QueryExpr};
+use fastbit::{
+    parse_query, BinSpec, HistEngine, ParExec, ParStatsSnapshot, PlanCache, PlanCacheStats,
+    QueryExpr,
+};
 use histogram::{Binning, Hist2D};
 use lwfa::{SimConfig, Simulation};
 use pcoords::{AxisSpec, Framebuffer, Layer, ParallelCoordsPlot, PlotConfig, Rgba};
@@ -101,7 +104,16 @@ pub struct DataExplorer {
     /// The chunked parallel executor (thread count, chunk size, lifetime
     /// pruning statistics). Only consulted when `config.threads > 1`.
     par: ParExec,
+    /// Compiled query programs keyed by [`QueryExpr::cache_key`]. Programs
+    /// are provider-independent (planner decisions bind per execution), so
+    /// one entry serves every timestep the same query touches.
+    plans: Arc<PlanCache>,
 }
+
+/// Compiled query programs retained per explorer. Programs are small
+/// (a few predicates plus a linear op list), so the cap only matters for
+/// pathological workloads that stream unique query shapes.
+const PLAN_CACHE_CAPACITY: usize = 64;
 
 impl DataExplorer {
     /// Open an existing catalog directory.
@@ -150,6 +162,7 @@ impl DataExplorer {
             config,
             cache: None,
             par,
+            plans: Arc::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
         }
     }
 
@@ -230,6 +243,11 @@ impl DataExplorer {
         self.par.stats()
     }
 
+    /// Effectiveness counters of the compiled-plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plans.stats()
+    }
+
     /// Select particles at `step` with a textual query such as
     /// `"px > 8.872e10"` and return their identifiers.
     pub fn select(&self, step: usize, query: &str) -> Result<BeamSelection> {
@@ -239,14 +257,18 @@ impl DataExplorer {
             // bitmap indexes, so skip the sidecar load (cached loads always
             // carry them regardless).
             let dataset = self.load_step(step, None, self.par.index_acceleration())?;
-            let selection = fastbit::par::evaluate_chunked(&expr, &*dataset, &self.par)?;
+            let program = self.plans.get_or_compile(&expr);
+            let selection =
+                fastbit::par::evaluate_chunk_masks_program(&program, &*dataset, &self.par)?
+                    .to_selection();
             dataset.ids_of(&selection)?
         } else {
             match &self.cache {
                 Some(_) => {
                     let dataset = self.load_step(step, None, true)?;
+                    let program = self.plans.get_or_compile(&expr);
                     let selection =
-                        fastbit::evaluate_with_strategy(&expr, &*dataset, self.strategy())?;
+                        fastbit::compile::execute(&program, &*dataset, self.strategy())?;
                     dataset.ids_of(&selection)?
                 }
                 None => self.analyzer().select(step, &expr)?.0,
@@ -283,14 +305,18 @@ impl DataExplorer {
         if self.parallel() {
             let dataset = self.load_step(step, None, true)?;
             let by_id = dataset.select_ids(ids)?;
-            let by_query = fastbit::par::evaluate_chunked(expr, &*dataset, &self.par)?;
+            let program = self.plans.get_or_compile(expr);
+            let by_query =
+                fastbit::par::evaluate_chunk_masks_program(&program, &*dataset, &self.par)?
+                    .to_selection();
             return Ok(dataset.ids_of(&by_id.and(&by_query)?)?);
         }
         match &self.cache {
             Some(_) => {
                 let dataset = self.load_step(step, None, true)?;
                 let by_id = dataset.select_ids(ids)?;
-                let by_query = fastbit::evaluate_with_strategy(expr, &*dataset, self.strategy())?;
+                let program = self.plans.get_or_compile(expr);
+                let by_query = fastbit::compile::execute(&program, &*dataset, self.strategy())?;
                 Ok(dataset.ids_of(&by_id.and(&by_query)?)?)
             }
             None => Ok(self.analyzer().refine(step, ids, expr)?),
@@ -485,11 +511,14 @@ impl DataExplorer {
         // Evaluate with the engine's strategy (not Auto): a cached dataset
         // always carries indexes, and the Custom baseline must keep scanning.
         let selection = match condition {
-            Some(q) => Some(fastbit::evaluate_with_strategy(
-                &parse_query(q)?,
-                &*dataset,
-                self.strategy(),
-            )?),
+            Some(q) => {
+                let program = self.plans.get_or_compile(&parse_query(q)?);
+                Some(fastbit::compile::execute(
+                    &program,
+                    &*dataset,
+                    self.strategy(),
+                )?)
+            }
             None => None,
         };
         let columns: Vec<Vec<f64>> = axes
@@ -675,6 +704,25 @@ mod tests {
         let stats = parallel.par_stats();
         assert!(stats.queries >= 4, "chunked engine actually ran");
         assert_eq!(sequential.par_stats().queries, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plan_cache_serves_repeated_queries_across_steps() {
+        let (explorer, dir) = small_explorer("plan_cache");
+        // The compiled path runs behind a dataset cache (the analyzer
+        // fallback re-reads files per request and predates compilation).
+        let explorer = explorer.with_dataset_cache(Arc::new(DatasetCache::new(
+            datastore::DatasetCacheConfig::default(),
+        )));
+        let a = explorer.select(17, "px > 1.5e10 && y > 0").unwrap();
+        // Same query, different timestep: one compiled program serves both.
+        let b = explorer.select(16, "px > 1.5e10 && y > 0").unwrap();
+        assert_ne!(a.step, b.step);
+        let stats = explorer.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "compiled once");
+        assert!(stats.hits >= 1, "second select reused the program");
+        assert_eq!(stats.len, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -19,7 +19,7 @@ use histogram::{rebin_equal_weight, BinEdges, Hist1D, Hist2D};
 
 use crate::error::{FastBitError, Result};
 use crate::par::{self, ChunkMasks, ParExec};
-use crate::query::{evaluate_with_strategy, ColumnProvider, ExecStrategy, QueryExpr};
+use crate::query::{ColumnProvider, ExecStrategy, QueryExpr};
 use crate::selection::Selection;
 
 /// How histogram bins should be chosen.
@@ -131,7 +131,9 @@ impl<'a, P: ColumnProvider> HistogramEngine<'a, P> {
         }
     }
 
-    /// Evaluate the condition of a conditional histogram.
+    /// Evaluate the condition of a conditional histogram through the
+    /// compiled engine (selected rows identical to tree-walk evaluation —
+    /// pinned by `tests/compile_differential.rs`).
     pub fn evaluate_condition(
         &self,
         condition: &QueryExpr,
@@ -141,7 +143,7 @@ impl<'a, P: ColumnProvider> HistogramEngine<'a, P> {
             HistEngine::FastBit => ExecStrategy::Auto,
             HistEngine::Custom => ExecStrategy::ScanOnly,
         };
-        evaluate_with_strategy(condition, self.provider, strategy)
+        crate::compile::evaluate(condition, self.provider, strategy)
     }
 
     /// Compute a 1D histogram of `column`.

@@ -65,6 +65,19 @@ pub fn encoding_stats() -> EncodingStatsSnapshot {
     }
 }
 
+/// Count one index-backed predicate evaluation under `encoding`. The auto
+/// paths ([`BitmapIndex::evaluate`] / [`BitmapIndex::evaluate_index_only`])
+/// count internally; the compiled engine forces the plan-recorded encoding
+/// through the `*_with` paths and notes it here so the `enc_*` STATS keep
+/// moving identically.
+pub(crate) fn note_encoding_query(encoding: IndexEncoding) {
+    match encoding {
+        IndexEncoding::Equality => &ENC_EQUALITY_QUERIES,
+        IndexEncoding::Range => &ENC_RANGE_QUERIES,
+    }
+    .fetch_add(1, Ordering::Relaxed);
+}
+
 /// A binned, WAH-compressed bitmap index over one floating-point column.
 ///
 /// Construction picks bin boundaries according to a [`Binning`] strategy and

@@ -38,10 +38,17 @@
 //!   pool, and per-chunk query evaluation that skips chunks the zone map
 //!   proves empty or full. Deterministic: the selected row set is identical
 //!   to sequential evaluation for every thread count and chunk size.
+//! * [`compile`] — query compilation: a normalized [`query::QueryExpr`] is
+//!   lowered once into a linear bytecode [`compile::Program`] (predicate
+//!   slots, AND/OR/NOT over mask registers, planner decisions bound per
+//!   dataset) and evaluated with fused word-at-a-time kernels by both
+//!   engines, with a deterministic plan printer and an LRU
+//!   [`compile::PlanCache`] keyed by [`query::QueryExpr::cache_key`].
 
 #![deny(missing_docs)]
 
 pub mod bitvec;
+pub mod compile;
 pub mod error;
 pub mod hist;
 pub mod index;
@@ -53,6 +60,7 @@ pub mod selection;
 pub mod wah;
 
 pub use bitvec::BitVec;
+pub use compile::{OpCode, PlanCache, PlanCacheStats, PlanMode, PredSource, Program, Root};
 pub use error::{FastBitError, Result};
 pub use hist::{BinSpec, HistEngine, HistogramEngine};
 pub use index::{encoding_stats, BitmapIndex, EncodingStatsSnapshot, IdIndex, IndexEncoding};

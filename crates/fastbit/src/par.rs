@@ -31,6 +31,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use crate::compile::{OpCode, PlanMode, PredSource, Program, Root};
 use crate::error::{FastBitError, Result};
 use crate::query::{ColumnProvider, Predicate, QueryExpr, ValueRange};
 use crate::selection::Selection;
@@ -557,19 +558,6 @@ impl ChunkMasks {
 // Chunked evaluation
 // ---------------------------------------------------------------------------
 
-/// Collect references to every predicate of `expr`, in evaluation order.
-fn collect_predicates<'e>(expr: &'e QueryExpr, out: &mut Vec<&'e Predicate>) {
-    match expr {
-        QueryExpr::Pred(p) => out.push(p),
-        QueryExpr::And(v) | QueryExpr::Or(v) => {
-            for e in v {
-                collect_predicates(e, out);
-            }
-        }
-        QueryExpr::Not(e) => collect_predicates(e, out),
-    }
-}
-
 /// Expand a [`Selection`] into a dense little-endian word bitmap, the form
 /// chunk workers can slice in O(words) per chunk. Bulk run expansion: cost
 /// is proportional to the dataset size, not to the number of selected rows.
@@ -598,35 +586,28 @@ fn slice_bits(words: &[u64], start: usize, len: usize) -> Vec<u64> {
     out
 }
 
-/// Dense per-predicate answers precomputed through bitmap indexes. Chunk
-/// workers look answers up by the predicate's address within the expression
-/// tree (stable for the whole evaluation, an integer comparison instead of
-/// re-rendering the predicate per chunk); textually identical predicates
-/// share one evaluation and one dense bitmap.
-#[derive(Default)]
-struct IndexedPredicates {
-    /// Predicate address → slot in `words`.
-    by_pred: BTreeMap<usize, usize>,
-    words: Vec<Vec<u64>>,
-}
-
-impl IndexedPredicates {
-    fn get(&self, pred: &Predicate) -> Option<&[u64]> {
-        self.by_pred
-            .get(&(pred as *const Predicate as usize))
-            .map(|&slot| self.words[slot].as_slice())
-    }
-}
-
 /// Evaluate `expr` chunk-by-chunk over `exec`'s pool and return the per-chunk
-/// masks. Zone maps are taken from the provider when it has them at this
-/// chunk size (see [`ColumnProvider::zone_maps`]) and computed on the fly
-/// from each chunk's slice otherwise. With
-/// [`ParExec::with_index_acceleration`] enabled, predicates whose column has
-/// a bitmap index are answered once through the index (encoding chosen by
-/// the per-query cost model) and sliced per chunk.
+/// masks. The expression is compiled to a bytecode [`Program`] first
+/// ([`Program::compile`]); callers that hold a cached program should use
+/// [`evaluate_chunk_masks_program`] directly.
 pub fn evaluate_chunk_masks(
     expr: &QueryExpr,
+    provider: &(impl ColumnProvider + Sync),
+    exec: &ParExec,
+) -> Result<ChunkMasks> {
+    evaluate_chunk_masks_program(&Program::compile(expr), provider, exec)
+}
+
+/// Evaluate a compiled [`Program`] chunk-by-chunk over `exec`'s pool. Zone
+/// maps are taken from the provider when it has them at this chunk size (see
+/// [`ColumnProvider::zone_maps`]) and computed on the fly from each chunk's
+/// slice otherwise. With [`ParExec::with_index_acceleration`] enabled,
+/// predicate slots whose column has a bitmap index are answered once through
+/// the index (encoding recorded by the plan's cost model) and sliced per
+/// chunk. Chunk workers then interpret the program's linear op list over
+/// per-chunk mask registers instead of re-walking the expression tree.
+pub fn evaluate_chunk_masks_program(
+    program: &Program,
     provider: &(impl ColumnProvider + Sync),
     exec: &ParExec,
 ) -> Result<ChunkMasks> {
@@ -637,7 +618,7 @@ pub fn evaluate_chunk_masks(
     // and chunk workers then operate on plain slices.
     let mut columns: BTreeMap<String, &[f64]> = BTreeMap::new();
     let mut zones: BTreeMap<String, Option<Arc<ZoneMaps>>> = BTreeMap::new();
-    for name in expr.columns() {
+    for name in program.expr().columns() {
         let data = provider
             .column(&name)
             .ok_or_else(|| FastBitError::UnknownColumn(name.clone()))?;
@@ -655,33 +636,27 @@ pub fn evaluate_chunk_masks(
         );
         columns.insert(name, data);
     }
-    // Index acceleration: answer each indexed predicate once, exactly (the
+    // Bind planner decisions, then answer each Index slot once, exactly (the
     // candidate check runs against the raw column), before any chunk work.
-    let mut indexed = IndexedPredicates::default();
-    if exec.index_accel {
-        let mut predicates = Vec::new();
-        collect_predicates(expr, &mut predicates);
-        let mut by_key: BTreeMap<String, usize> = BTreeMap::new();
-        for pred in predicates {
-            let (Some(index), Some(data)) = (
-                provider.index(&pred.column),
-                columns.get(pred.column.as_str()),
-            ) else {
-                continue;
-            };
-            let slot = match by_key.get(&pred.to_string()) {
-                Some(&slot) => slot,
-                None => {
-                    let selection = index.evaluate(&pred.range, data)?;
-                    indexed.words.push(selection_words(&selection));
-                    let slot = indexed.words.len() - 1;
-                    by_key.insert(pred.to_string(), slot);
-                    slot
-                }
-            };
-            indexed
-                .by_pred
-                .insert(pred as *const Predicate as usize, slot);
+    // Textually identical predicates share one slot, hence one evaluation.
+    let sources = program.plan(
+        provider,
+        PlanMode::Chunked {
+            pruning: exec.pruning(),
+            index_accel: exec.index_accel,
+        },
+    )?;
+    let mut slot_answers: Vec<Option<Vec<u64>>> = Vec::with_capacity(sources.len());
+    for (pred, source) in program.slots().iter().zip(&sources) {
+        match *source {
+            PredSource::Index { encoding, .. } => {
+                let index = provider.index(&pred.column).expect("planned index slot");
+                let data = columns.get(pred.column.as_str()).expect("resolved column");
+                let selection = index.evaluate_with(&pred.range, data, encoding)?;
+                crate::index::note_encoding_query(encoding);
+                slot_answers.push(Some(selection_words(&selection)));
+            }
+            PredSource::Scan { .. } => slot_answers.push(None),
         }
     }
     let num_chunks = num_rows.div_ceil(chunk_rows);
@@ -689,7 +664,21 @@ pub fn evaluate_chunk_masks(
     let masks = exec.run_chunks(num_chunks, |chunk| {
         let start = chunk * chunk_rows;
         let len = chunk_rows.min(num_rows - start);
-        eval_expr_chunk(expr, &columns, &zones, &indexed, exec, chunk, start, len)
+        let mut slot_masks = Vec::with_capacity(program.slots().len());
+        for (i, pred) in program.slots().iter().enumerate() {
+            slot_masks.push(eval_slot_chunk(
+                pred,
+                &sources[i],
+                slot_answers[i].as_deref(),
+                &columns,
+                &zones,
+                exec,
+                chunk,
+                start,
+                len,
+            )?);
+        }
+        Ok(run_ops_masks(program, slot_masks, len))
     })?;
     Ok(ChunkMasks {
         chunk_rows,
@@ -710,86 +699,109 @@ pub fn evaluate_chunked(
     Ok(evaluate_chunk_masks(expr, provider, exec)?.to_selection())
 }
 
+/// Evaluate one predicate slot over one chunk: slice the precomputed index
+/// answer, prune through the zone map, or scan the chunk's rows.
 #[allow(clippy::too_many_arguments)] // internal chunk-worker plumbing
-fn eval_expr_chunk(
-    expr: &QueryExpr,
+fn eval_slot_chunk(
+    pred: &Predicate,
+    source: &PredSource,
+    answer: Option<&[u64]>,
     columns: &BTreeMap<String, &[f64]>,
     zones: &BTreeMap<String, Option<Arc<ZoneMaps>>>,
-    indexed: &IndexedPredicates,
     exec: &ParExec,
     chunk: usize,
     start: usize,
     len: usize,
 ) -> Result<Mask> {
-    match expr {
-        QueryExpr::Pred(p) => {
-            if let Some(words) = indexed.get(p) {
-                exec.stats.chunks_indexed.fetch_add(1, Ordering::Relaxed);
-                return Ok(Mask::Bits(slice_bits(words, start, len)).normalized(len));
+    if let Some(words) = answer {
+        exec.stats.chunks_indexed.fetch_add(1, Ordering::Relaxed);
+        return Ok(Mask::Bits(slice_bits(words, start, len)).normalized(len));
+    }
+    let data = columns
+        .get(pred.column.as_str())
+        .ok_or_else(|| FastBitError::UnknownColumn(pred.column.clone()))?;
+    let slice = &data[start..start + len];
+    if matches!(source, PredSource::Scan { pruned: true }) {
+        let zone = match zones.get(pred.column.as_str()) {
+            Some(Some(maps)) => *maps.zone(chunk),
+            _ => Zone::from_slice(slice),
+        };
+        match zone.classify(&pred.range) {
+            ZoneVerdict::Empty => {
+                exec.stats
+                    .chunks_pruned_empty
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(Mask::Empty);
             }
-            let data = columns
-                .get(p.column.as_str())
-                .ok_or_else(|| FastBitError::UnknownColumn(p.column.clone()))?;
-            let slice = &data[start..start + len];
-            if exec.pruning() {
-                let zone = match zones.get(p.column.as_str()) {
-                    Some(Some(maps)) => *maps.zone(chunk),
-                    _ => Zone::from_slice(slice),
-                };
-                match zone.classify(&p.range) {
-                    ZoneVerdict::Empty => {
-                        exec.stats
-                            .chunks_pruned_empty
-                            .fetch_add(1, Ordering::Relaxed);
-                        return Ok(Mask::Empty);
-                    }
-                    ZoneVerdict::Full => {
-                        exec.stats
-                            .chunks_pruned_full
-                            .fetch_add(1, Ordering::Relaxed);
-                        return Ok(Mask::Full);
-                    }
-                    ZoneVerdict::Scan => {}
-                }
+            ZoneVerdict::Full => {
+                exec.stats
+                    .chunks_pruned_full
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(Mask::Full);
             }
-            exec.stats.chunks_scanned.fetch_add(1, Ordering::Relaxed);
-            let mut words = vec![0u64; words_for(len)];
-            for (i, &v) in slice.iter().enumerate() {
-                if p.range.contains(v) {
-                    words[i / 64] |= 1u64 << (i % 64);
-                }
-            }
-            Ok(Mask::Bits(words).normalized(len))
-        }
-        // And/Or evaluate every child (no short-circuit) so that errors —
-        // e.g. an unknown column in a later operand — surface exactly as in
-        // sequential evaluation.
-        QueryExpr::And(children) => {
-            let mut acc: Option<Mask> = None;
-            for child in children {
-                let m = eval_expr_chunk(child, columns, zones, indexed, exec, chunk, start, len)?;
-                acc = Some(match acc {
-                    None => m,
-                    Some(prev) => prev.and(m, len),
-                });
-            }
-            Ok(acc.unwrap_or(Mask::Full))
-        }
-        QueryExpr::Or(children) => {
-            let mut acc: Option<Mask> = None;
-            for child in children {
-                let m = eval_expr_chunk(child, columns, zones, indexed, exec, chunk, start, len)?;
-                acc = Some(match acc {
-                    None => m,
-                    Some(prev) => prev.or(m, len),
-                });
-            }
-            Ok(acc.unwrap_or(Mask::Empty))
-        }
-        QueryExpr::Not(inner) => {
-            Ok(eval_expr_chunk(inner, columns, zones, indexed, exec, chunk, start, len)?.not(len))
+            ZoneVerdict::Scan => {}
         }
     }
+    exec.stats.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+    let mut words = vec![0u64; words_for(len)];
+    for (i, &v) in slice.iter().enumerate() {
+        if pred.range.contains(v) {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    Ok(Mask::Bits(words).normalized(len))
+}
+
+/// Interpret the program's linear op list over this chunk's slot masks. The
+/// masks normalize after every op, so the result is a pure function of the
+/// chunk's logical row set — byte-identical to what the old per-chunk tree
+/// walk produced.
+fn run_ops_masks(program: &Program, slot_masks: Vec<Mask>, len: usize) -> Mask {
+    match program.root() {
+        Root::Pred(s) => {
+            return slot_masks
+                .into_iter()
+                .nth(s as usize)
+                .expect("slot in range")
+        }
+        Root::Const(true) => return Mask::Full,
+        Root::Const(false) => return Mask::Empty,
+        Root::Ops { .. } => {}
+    }
+    let mut regs: Vec<Mask> = vec![Mask::Empty; program.num_regs()];
+    let take = |regs: &mut Vec<Mask>, i: u16| std::mem::replace(&mut regs[i as usize], Mask::Empty);
+    for op in program.ops() {
+        match *op {
+            OpCode::Load { dst, slot } => regs[dst as usize] = slot_masks[slot as usize].clone(),
+            OpCode::LoadConst { dst, ones } => {
+                regs[dst as usize] = if ones { Mask::Full } else { Mask::Empty }
+            }
+            OpCode::AndReg { dst, src } => {
+                let (b, a) = (take(&mut regs, src), take(&mut regs, dst));
+                regs[dst as usize] = a.and(b, len);
+            }
+            OpCode::AndSlot { dst, slot } => {
+                let a = take(&mut regs, dst);
+                regs[dst as usize] = a.and(slot_masks[slot as usize].clone(), len);
+            }
+            OpCode::OrReg { dst, src } => {
+                let (b, a) = (take(&mut regs, src), take(&mut regs, dst));
+                regs[dst as usize] = a.or(b, len);
+            }
+            OpCode::OrSlot { dst, slot } => {
+                let a = take(&mut regs, dst);
+                regs[dst as usize] = a.or(slot_masks[slot as usize].clone(), len);
+            }
+            OpCode::Not { dst } => {
+                let a = take(&mut regs, dst);
+                regs[dst as usize] = a.not(len);
+            }
+        }
+    }
+    let Root::Ops { result } = program.root() else {
+        unreachable!("leaf roots returned above")
+    };
+    take(&mut regs, result)
 }
 
 #[cfg(test)]

@@ -467,7 +467,7 @@ pub fn evaluate(expr: &QueryExpr, provider: &impl ColumnProvider) -> Result<Sele
     evaluate_with_strategy(expr, provider, ExecStrategy::Auto)
 }
 
-fn evaluate_predicate(
+pub(crate) fn evaluate_predicate(
     pred: &Predicate,
     provider: &impl ColumnProvider,
     strategy: ExecStrategy,

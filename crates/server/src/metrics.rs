@@ -39,6 +39,9 @@ impl Default for OpMetrics {
 
 impl OpMetrics {
     /// Record one successful request and its wall-clock duration.
+    /// Sub-microsecond durations clamp to the 1 µs bottom of the histogram;
+    /// durations beyond 10 s land in the out-of-range bucket and report as
+    /// the 10 s range top.
     pub fn record(&self, elapsed: Duration) {
         self.count.fetch_add(1, Ordering::Relaxed);
         let micros = elapsed.as_secs_f64() * 1e6;
@@ -60,26 +63,29 @@ impl OpMetrics {
         self.errors.load(Ordering::Relaxed)
     }
 
-    /// Approximate latency quantile in microseconds (`q` in `[0, 1]`).
-    /// Returns 0 when nothing has been recorded.
-    pub fn quantile_us(&self, q: f64) -> f64 {
+    /// Approximate latency quantile in microseconds (`q` in `[0, 1]`,
+    /// clamped). `None` when no sample has ever been recorded — a
+    /// never-exercised op is not the same as a very fast one, and `STATS`
+    /// renders the distinction as `-`.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
         let hist = self.latency.lock();
         let total = hist.total() + hist.out_of_range();
         if total == 0 {
-            return 0.0;
+            return None;
         }
+        // q = 0 resolves to the first occupied bin, q = 1 to the last.
         let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in hist.counts().iter().enumerate() {
             seen += c;
-            if seen >= target {
+            if c > 0 && seen >= target {
                 // Bin centre in log space, mapped back to micros.
                 let (lo, hi) = hist.edges().bin_range(i);
-                return 10f64.powf((lo + hi) / 2.0);
+                return Some(10f64.powf((lo + hi) / 2.0));
             }
         }
         // Only out-of-range (>10 s) samples remain.
-        10f64.powf(LOG_HI)
+        Some(10f64.powf(LOG_HI))
     }
 }
 
@@ -115,12 +121,17 @@ impl ServerMetrics {
     }
 
     /// Append this op's stats as `<name>_count=…`, `<name>_p50_us=…`,
-    /// `<name>_p99_us=…` fields.
+    /// `<name>_p99_us=…` fields. Quantiles of a never-exercised op render
+    /// as `-` rather than a fake `0`.
     pub fn append_op_fields(out: &mut Vec<String>, name: &str, op: &OpMetrics) {
+        let quantile = |q: f64| match op.quantile_us(q) {
+            Some(us) => format!("{us:.0}"),
+            None => "-".to_string(),
+        };
         out.push(format!("{name}_count={}", op.count()));
         out.push(format!("{name}_errors={}", op.errors()));
-        out.push(format!("{name}_p50_us={:.0}", op.quantile_us(0.5)));
-        out.push(format!("{name}_p99_us={:.0}", op.quantile_us(0.99)));
+        out.push(format!("{name}_p50_us={}", quantile(0.5)));
+        out.push(format!("{name}_p99_us={}", quantile(0.99)));
     }
 }
 
@@ -131,7 +142,7 @@ mod tests {
     #[test]
     fn quantiles_track_recorded_magnitudes() {
         let op = OpMetrics::default();
-        assert_eq!(op.quantile_us(0.5), 0.0);
+        assert_eq!(op.quantile_us(0.5), None, "no samples yet");
         for _ in 0..90 {
             op.record(Duration::from_micros(100));
         }
@@ -139,9 +150,9 @@ mod tests {
             op.record(Duration::from_millis(50));
         }
         assert_eq!(op.count(), 100);
-        let p50 = op.quantile_us(0.5);
+        let p50 = op.quantile_us(0.5).unwrap();
         assert!((80.0..130.0).contains(&p50), "p50 ≈ 100µs, got {p50}");
-        let p99 = op.quantile_us(0.99);
+        let p99 = op.quantile_us(0.99).unwrap();
         assert!((35_000.0..70_000.0).contains(&p99), "p99 ≈ 50ms, got {p99}");
     }
 
@@ -152,13 +163,56 @@ mod tests {
         op.record_error();
         assert_eq!(op.errors(), 2);
         assert_eq!(op.count(), 0);
-        assert_eq!(op.quantile_us(0.99), 0.0);
+        assert_eq!(op.quantile_us(0.99), None, "errors carry no latency sample");
+    }
+
+    #[test]
+    fn empty_histogram_renders_as_dash_not_zero() {
+        let mut fields = Vec::new();
+        ServerMetrics::append_op_fields(&mut fields, "select", &OpMetrics::default());
+        assert!(
+            fields.contains(&"select_p50_us=-".to_string()),
+            "{fields:?}"
+        );
+        assert!(
+            fields.contains(&"select_p99_us=-".to_string()),
+            "{fields:?}"
+        );
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_first_and_last_occupied_bins() {
+        let op = OpMetrics::default();
+        op.record(Duration::from_micros(10));
+        op.record(Duration::from_millis(100));
+        let q0 = op.quantile_us(0.0).unwrap();
+        assert!((8.0..13.0).contains(&q0), "q=0 → first sample, got {q0}");
+        let q1 = op.quantile_us(1.0).unwrap();
+        assert!(
+            (80_000.0..130_000.0).contains(&q1),
+            "q=1 → last sample, got {q1}"
+        );
+        // Out-of-clamp-range q values behave like the endpoints.
+        assert_eq!(op.quantile_us(-3.0), op.quantile_us(0.0));
+        assert_eq!(op.quantile_us(42.0), op.quantile_us(1.0));
+    }
+
+    #[test]
+    fn sub_microsecond_durations_clamp_to_range_bottom() {
+        let op = OpMetrics::default();
+        op.record(Duration::from_nanos(5));
+        op.record(Duration::ZERO);
+        let p50 = op.quantile_us(0.5).unwrap();
+        assert!(
+            (0.9..1.3).contains(&p50),
+            "sub-µs clamps to the 1 µs bottom bin, got {p50}"
+        );
     }
 
     #[test]
     fn oversized_latency_clamps_to_range_top() {
         let op = OpMetrics::default();
         op.record(Duration::from_secs(100)); // beyond the 10 s histogram
-        assert!(op.quantile_us(0.5) >= 10f64.powf(6.9));
+        assert!(op.quantile_us(0.5).unwrap() >= 10f64.powf(6.9));
     }
 }

@@ -301,6 +301,7 @@ impl ServerState {
         let ds = self.datasets.stats();
         let qc = self.queries.stats();
         let par = self.explorer.par_stats();
+        let plans = self.explorer.plan_cache_stats();
         let store = self
             .explorer
             .catalog()
@@ -335,6 +336,10 @@ impl ServerState {
             format!("qc_misses={}", qc.misses),
             format!("qc_evictions={}", qc.evictions),
             format!("qc_len={}", qc.len),
+            format!("plan_cache_hits={}", plans.hits),
+            format!("plan_cache_misses={}", plans.misses),
+            format!("plan_cache_evictions={}", plans.evictions),
+            format!("plan_cache_len={}", plans.len),
             format!("evaluations={}", self.metrics.evaluations()),
         ];
         ServerMetrics::append_op_fields(&mut fields, "select", &self.metrics.select);

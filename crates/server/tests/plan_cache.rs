@@ -1,0 +1,98 @@
+//! Plan-cache behaviour through the server: repeated evaluations of the
+//! same query reuse one compiled program (visible as `plan_cache_hits` in
+//! `STATS`), and query-cache hits — which skip evaluation entirely — do not
+//! touch the plan cache at all.
+//!
+//! REFINE is the probe operation because it is never memoized by the
+//! query cache, so every request reaches the explorer and exercises the
+//! compile path.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use datastore::Catalog;
+use histogram::Binning;
+use lwfa::{SimConfig, Simulation};
+use vdx_server::{parse_stats, Server, ServerConfig};
+
+fn tiny_catalog(tag: &str) -> (Arc<Catalog>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("vdx_plan_cache_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).unwrap();
+    let mut config = SimConfig::tiny();
+    config.particles_per_step = 300;
+    config.num_timesteps = 4;
+    Simulation::new(config)
+        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 16 }))
+        .unwrap();
+    (Arc::new(catalog), dir)
+}
+
+fn stat(stats: &std::collections::HashMap<String, String>, key: &str) -> u64 {
+    stats
+        .get(key)
+        .unwrap_or_else(|| panic!("missing {key} in {stats:?}"))
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn repeated_refines_hit_the_plan_cache() {
+    let (catalog, dir) = tiny_catalog("refine");
+    let server = Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let state = handle.state();
+
+    let (first, _) = state.handle_line("REFINE\t3\t1,2,3,4\tpx > 1e9 && y > 0");
+    assert!(first.starts_with("OK\tREFINE\t"), "{first}");
+    let stats = parse_stats(&state.handle_line("STATS").0);
+    assert_eq!(stat(&stats, "plan_cache_misses"), 1, "compiled once");
+    assert_eq!(stat(&stats, "plan_cache_len"), 1);
+    let hits_before = stat(&stats, "plan_cache_hits");
+
+    // The same query again — and in a different (but equivalent) predicate
+    // order: normalization makes both share one cache_key, hence one
+    // compiled program.
+    let (second, _) = state.handle_line("REFINE\t3\t1,2,3,4\tpx > 1e9 && y > 0");
+    assert_eq!(first, second);
+    let (third, _) = state.handle_line("REFINE\t3\t1,2,3,4\ty > 0 && px > 1e9");
+    assert_eq!(first, third);
+    // Same program works at a different timestep too.
+    let (other_step, _) = state.handle_line("REFINE\t2\t1,2,3,4\tpx > 1e9 && y > 0");
+    assert!(other_step.starts_with("OK\tREFINE\t"), "{other_step}");
+
+    let stats = parse_stats(&state.handle_line("STATS").0);
+    assert_eq!(stat(&stats, "plan_cache_misses"), 1, "still one program");
+    assert!(
+        stat(&stats, "plan_cache_hits") >= hits_before + 3,
+        "every later evaluation reused it: {stats:?}"
+    );
+    assert_eq!(stat(&stats, "plan_cache_evictions"), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_cache_hits_bypass_the_plan_cache() {
+    let (catalog, dir) = tiny_catalog("memo");
+    let server = Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let state = handle.state();
+
+    let (first, _) = state.handle_line("SELECT\t3\tpx > 1e9");
+    assert!(first.starts_with("OK\tSELECT\t"), "{first}");
+    let stats = parse_stats(&state.handle_line("STATS").0);
+    let compiles = stat(&stats, "plan_cache_misses") + stat(&stats, "plan_cache_hits");
+
+    // A memoized SELECT answers from the query cache without evaluating,
+    // so the plan cache must not move at all.
+    let (second, _) = state.handle_line("SELECT\t3\tpx > 1e9");
+    assert_eq!(first, second);
+    let stats = parse_stats(&state.handle_line("STATS").0);
+    assert_eq!(
+        stat(&stats, "plan_cache_misses") + stat(&stats, "plan_cache_hits"),
+        compiles,
+        "query-cache hit never consulted the plan cache: {stats:?}"
+    );
+    assert!(stat(&stats, "qc_hits") >= 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
