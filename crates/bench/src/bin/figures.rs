@@ -93,6 +93,7 @@ fn main() {
     fig_query_compile(&args);
     fig_par_engine(&args);
     fig_store_warmstart(&args);
+    fig_obs_overhead(&args);
     fig14_15_parallel_histograms(&args);
     fig16_17_parallel_tracking(&args);
     println!("\nCSV series written to {}/", args.out.display());
@@ -783,6 +784,118 @@ fn fig_store_warmstart(args: &Args) {
     .unwrap();
     write_bench_json(&args.out, "BENCH_store_warmstart.json", &records).unwrap();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Observability overhead: the same request workload through two servers
+/// over one catalog — tracing disabled vs tracing every request — with every
+/// reply pair oracle-asserted byte-identical before anything is timed, and
+/// the traced median bounded against the untraced one.
+fn fig_obs_overhead(args: &Args) {
+    use std::sync::Arc;
+    use vdx_server::{Server, ServerConfig};
+
+    println!("\n== Observability overhead: tracing off vs tracing every request ==");
+    let per_step = (args.particles / 8).max(10_000);
+    let timesteps = args.timesteps.clamp(2, 4);
+    let (catalog, _dir) = catalog_workload("obs", per_step, timesteps);
+    let steps = catalog.steps();
+    let catalog = Arc::new(catalog);
+    let config = |trace_sample: u64| ServerConfig {
+        // No reply memo: every request must parse, plan, and evaluate, so
+        // the instrumented stages are actually on the measured path.
+        query_cache_entries: 0,
+        trace_sample,
+        ..ServerConfig::default()
+    };
+    let off_server = Server::bind(catalog.clone(), "127.0.0.1:0", config(0)).unwrap();
+    let on_server = Server::bind(catalog.clone(), "127.0.0.1:0", config(1)).unwrap();
+    let off_handle = off_server.handle();
+    let on_handle = on_server.handle();
+    let off = off_handle.state();
+    let on = on_handle.state();
+
+    let mut requests = Vec::new();
+    for &step in &steps {
+        requests.push(format!("SELECT\t{step}\tpx > 0 && y > 0"));
+        requests.push(format!("SELECT\t{step}\tpx > 1e9 || z < 0"));
+        requests.push(format!("HIST\t{step}\tpx\t256\tx > 0"));
+        requests.push(format!("HIST\t{step}\ty\t64"));
+    }
+
+    // Oracle first (also warms both dataset caches and plan caches): the
+    // observability machinery must never change a reply byte.
+    for request in &requests {
+        let (baseline, _) = off.handle_line(request);
+        let (traced, _) = on.handle_line(request);
+        assert!(baseline.starts_with("OK\t"), "{request} -> {baseline}");
+        assert_eq!(
+            baseline, traced,
+            "tracing changed the reply for {request:?}"
+        );
+    }
+    assert_eq!(off.tracer().recorded(), 0, "trace_sample 0 records nothing");
+    assert!(on.tracer().recorded() >= requests.len() as u64);
+
+    // Timed passes, interleaved so both servers see the same machine state.
+    // The bar: on a workload long enough to measure reliably, the traced
+    // median stays within 5% (plus a fixed epsilon for timer noise) of the
+    // untraced one. Single-run jitter can exceed that, so a failed attempt
+    // re-measures a bounded number of times before it counts.
+    let samples = args.samples.max(5);
+    let run = |state: &vdx_server::ServerState| -> usize {
+        requests.iter().map(|r| state.handle_line(r).0.len()).sum()
+    };
+    let mut attempt = 0;
+    let (off_stats, on_stats) = loop {
+        attempt += 1;
+        let (bytes_off, off_stats) = time_stats(samples, || run(off));
+        let (bytes_on, on_stats) = time_stats(samples, || run(on));
+        assert_eq!(bytes_off, bytes_on, "reply bytes diverged while timing");
+        let measurable = off_stats.median_s > 2e-3;
+        let within = on_stats.median_s <= off_stats.median_s * 1.05 + 2e-4;
+        if !measurable || within {
+            break (off_stats, on_stats);
+        }
+        assert!(
+            attempt < 4,
+            "tracing overhead {:.1}% (off {:.6}s, on {:.6}s) exceeded 5% in {attempt} attempts",
+            (on_stats.median_s / off_stats.median_s - 1.0) * 100.0,
+            off_stats.median_s,
+            on_stats.median_s
+        );
+    };
+    let overhead_pct = (on_stats.median_s / off_stats.median_s.max(1e-12) - 1.0) * 100.0;
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "requests", "off_median_s", "on_median_s", "overhead"
+    );
+    println!(
+        "{:>10} {:>14.6} {:>14.6} {:>9.2}%",
+        requests.len(),
+        off_stats.median_s,
+        on_stats.median_s,
+        overhead_pct
+    );
+
+    let rows = vec![format!(
+        "{},{},{},{:.4}",
+        requests.len(),
+        off_stats.median_s,
+        on_stats.median_s,
+        overhead_pct
+    )];
+    write_csv(
+        &args.out,
+        "obs_overhead.csv",
+        "requests,trace_off_median_s,trace_on_median_s,overhead_pct",
+        &rows,
+    )
+    .unwrap();
+    let records = vec![
+        BenchRecord::new("obs_trace_off", requests.len(), off_stats),
+        BenchRecord::new("obs_trace_on", requests.len(), on_stats),
+    ];
+    write_bench_json(&args.out, "BENCH_obs_overhead.json", &records).unwrap();
 }
 
 /// Figures 14 and 15: parallel histogram computation times and speedups.

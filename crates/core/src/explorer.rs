@@ -248,6 +248,17 @@ impl DataExplorer {
         self.plans.stats()
     }
 
+    /// Register this explorer's engine-level collectors — plan cache,
+    /// chunked parallel executor, index encoding counters and the attached
+    /// segment store (when present) — into a metrics registry. The dataset
+    /// cache registers itself separately (it is shared across explorers).
+    pub fn register_metrics(&self, registry: &obs::Registry) {
+        self.plans.register_metrics(registry);
+        self.par.register_metrics(registry);
+        fastbit::register_encoding_metrics(registry);
+        self.catalog.register_metrics(registry);
+    }
+
     /// Select particles at `step` with a textual query such as
     /// `"px > 8.872e10"` and return their identifiers.
     pub fn select(&self, step: usize, query: &str) -> Result<BeamSelection> {
@@ -258,9 +269,11 @@ impl DataExplorer {
             // carry them regardless).
             let dataset = self.load_step(step, None, self.par.index_acceleration())?;
             let program = self.plans.get_or_compile(&expr);
-            let selection =
-                fastbit::par::evaluate_chunk_masks_program(&program, &*dataset, &self.par)?
-                    .to_selection();
+            let masks = fastbit::par::evaluate_chunk_masks_program(&program, &*dataset, &self.par)?;
+            let selection = {
+                let _combine = obs::span("combine");
+                masks.to_selection()
+            };
             dataset.ids_of(&selection)?
         } else {
             match &self.cache {
@@ -306,9 +319,11 @@ impl DataExplorer {
             let dataset = self.load_step(step, None, true)?;
             let by_id = dataset.select_ids(ids)?;
             let program = self.plans.get_or_compile(expr);
-            let by_query =
-                fastbit::par::evaluate_chunk_masks_program(&program, &*dataset, &self.par)?
-                    .to_selection();
+            let masks = fastbit::par::evaluate_chunk_masks_program(&program, &*dataset, &self.par)?;
+            let by_query = {
+                let _combine = obs::span("combine");
+                masks.to_selection()
+            };
             return Ok(dataset.ids_of(&by_id.and(&by_query)?)?);
         }
         match &self.cache {

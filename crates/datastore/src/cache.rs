@@ -187,16 +187,20 @@ impl DatasetCache {
     /// and are counted as hits, while hits for other resident steps of the
     /// shard are never blocked by the load.
     pub fn get_or_load(&self, catalog: &Catalog, step: usize) -> Result<Arc<Dataset>> {
+        let _cache = obs::span("dataset_cache");
+        obs::note("step", || step.to_string());
         let state = self.shard(step);
         let mut shard = state.shard.lock();
         loop {
             if let Some(entry) = shard.entries.get_mut(&step) {
                 entry.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::count("hit", 1);
                 return Ok(Arc::clone(&entry.dataset));
             }
             if let Some(dataset) = shard.recent.get(&step).and_then(Weak::upgrade) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::count("hit", 1);
                 return Ok(dataset);
             }
             if !shard.loading.contains(&step) {
@@ -209,6 +213,7 @@ impl DatasetCache {
         }
         // This thread owns the load for `step`.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        obs::count("hit", 0);
         shard.loading.insert(step);
         drop(shard);
         let loaded = catalog.load(step, None, true).map(Arc::new);
@@ -283,6 +288,51 @@ impl DatasetCache {
             resident_bytes: self.resident.load(Ordering::Relaxed),
             peak_resident_bytes: self.peak.load(Ordering::Relaxed),
         }
+    }
+
+    /// Register this cache's effectiveness counters into a metrics registry
+    /// as `vdx_dataset_cache_*` collectors.
+    pub fn register_metrics(self: &Arc<Self>, registry: &obs::Registry) {
+        for (event, pick) in [("hit", 0usize), ("miss", 1), ("eviction", 2)] {
+            let cache = Arc::clone(self);
+            registry.counter_fn(
+                "vdx_dataset_cache_events_total",
+                "Dataset cache lookups and evictions by outcome.",
+                &[("event", event)],
+                move || {
+                    let s = cache.stats();
+                    [s.hits, s.misses, s.evictions][pick]
+                },
+            );
+        }
+        let cache = Arc::clone(self);
+        registry.gauge_fn(
+            "vdx_dataset_cache_resident_bytes",
+            "Bytes currently resident across all cache shards.",
+            &[],
+            move || cache.stats().resident_bytes as f64,
+        );
+        let cache = Arc::clone(self);
+        registry.gauge_fn(
+            "vdx_dataset_cache_peak_resident_bytes",
+            "High-water mark of resident bytes over the cache lifetime.",
+            &[],
+            move || cache.stats().peak_resident_bytes as f64,
+        );
+        let cache = Arc::clone(self);
+        registry.gauge_fn(
+            "vdx_dataset_cache_budget_bytes",
+            "Configured total byte budget of the dataset cache.",
+            &[],
+            move || cache.max_bytes() as f64,
+        );
+        let cache = Arc::clone(self);
+        registry.gauge_fn(
+            "vdx_dataset_cache_len",
+            "Datasets currently resident in the cache.",
+            &[],
+            move || cache.len() as f64,
+        );
     }
 
     fn shard(&self, step: usize) -> &ShardState {

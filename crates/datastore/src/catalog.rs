@@ -120,6 +120,42 @@ impl Catalog {
         self.store.as_ref()
     }
 
+    /// Register the attached segment store's counters into a metrics
+    /// registry as `vdx_store_*` collectors. No-op without a store.
+    pub fn register_metrics(self: &std::sync::Arc<Self>, registry: &obs::Registry) {
+        if self.store.is_none() {
+            return;
+        }
+        for (name, help, pick) in [
+            (
+                "vdx_store_hits_total",
+                "Store loads answered from a valid segment file.",
+                0usize,
+            ),
+            (
+                "vdx_store_misses_total",
+                "Store loads that fell back to raw ingestion.",
+                1,
+            ),
+            (
+                "vdx_store_bytes_written_total",
+                "Segment bytes written over the store lifetime.",
+                2,
+            ),
+            (
+                "vdx_store_indexes_built_total",
+                "Bitmap indexes built because a cold load found none to reuse.",
+                3,
+            ),
+        ] {
+            let catalog = std::sync::Arc::clone(self);
+            registry.counter_fn(name, help, &[], move || {
+                let s = catalog.store().map(|s| s.stats()).unwrap_or_default();
+                [s.hits, s.misses, s.bytes_written, s.indexes_built][pick]
+            });
+        }
+    }
+
     /// Directory backing this catalog.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -217,18 +253,27 @@ impl Catalog {
         projection: Option<&[&str]>,
         with_indexes: bool,
     ) -> Result<Dataset> {
+        let _load = obs::span("load");
+        obs::note("step", || step.to_string());
         let entry = self.entry(step)?;
         let store = match &self.store {
             Some(store) if projection.is_none() && with_indexes => store,
-            _ => return self.load_raw(entry, projection, with_indexes),
+            _ => {
+                obs::note("source", || "raw".to_string());
+                return self.load_raw(entry, projection, with_indexes);
+            }
         };
         match store.load(step) {
-            Ok(Some(dataset)) => return Ok(dataset),
+            Ok(Some(dataset)) => {
+                obs::note("source", || "store".to_string());
+                return Ok(dataset);
+            }
             Ok(None) => {}
             // A segment exists but failed validation: fall back to the raw
             // source of truth; the save below atomically replaces it.
             Err(_) => store.note_miss(),
         }
+        obs::note("source", || "raw".to_string());
         let mut dataset = self.load_raw(entry, None, true)?;
         if dataset.indexed_columns().is_empty() {
             let built = dataset.build_indexes_lenient(store.binning());

@@ -660,6 +660,15 @@ fn words_to_wah(words: &[u64], n: usize) -> Wah {
     builder.finish()
 }
 
+/// Trace label of a planned predicate source.
+fn source_name(source: PredSource) -> &'static str {
+    match source {
+        PredSource::Scan { pruned: true } => "scan+prune",
+        PredSource::Scan { pruned: false } => "scan",
+        PredSource::Index { .. } => "index",
+    }
+}
+
 /// Execute a compiled program against `provider` with the sequential fused
 /// engine. The selected rows equal tree-walk evaluation of the same
 /// expression; for the program's (normalized) expression the WAH words are
@@ -669,12 +678,23 @@ pub fn execute(
     provider: &impl ColumnProvider,
     strategy: ExecStrategy,
 ) -> Result<Selection> {
+    let _eval = obs::span("evaluate");
     let n = provider.num_rows();
     match program.root {
         // A single-predicate program delegates to the exact tree-walk leaf
         // path (identical output form and counters by construction).
         Root::Pred(slot) => {
-            return evaluate_predicate(&program.slots[slot as usize], provider, strategy)
+            let pred = &program.slots[slot as usize];
+            let _slot = obs::span("slot");
+            obs::note("pred", || pred.to_string());
+            if obs::is_active() {
+                // The source note is trace-only decoration; plan() is cheap
+                // next to the evaluation but still skipped when untraced.
+                if let Ok(sources) = program.plan(provider, PlanMode::Sequential(strategy)) {
+                    obs::note("source", || source_name(sources[slot as usize]).to_string());
+                }
+            }
+            return evaluate_predicate(pred, provider, strategy);
         }
         Root::Const(true) => return Ok(Selection::all(n)),
         Root::Const(false) => return Ok(Selection::none(n)),
@@ -683,8 +703,12 @@ pub fn execute(
     let sources = program.plan(provider, PlanMode::Sequential(strategy))?;
     let mut slot_words = Vec::with_capacity(program.slots.len());
     for (pred, &source) in program.slots.iter().zip(&sources) {
+        let _slot = obs::span("slot");
+        obs::note("pred", || pred.to_string());
+        obs::note("source", || source_name(source).to_string());
         slot_words.push(dense_slot(pred, source, provider, n)?);
     }
+    let _combine = obs::span("combine");
     let mut regs: Vec<Vec<u64>> = vec![Vec::new(); program.num_regs];
     for op in &program.ops {
         match *op {
@@ -797,6 +821,7 @@ impl PlanCache {
     /// Fetch the program compiled from `expr`, compiling and caching it on a
     /// miss.
     pub fn get_or_compile(&self, expr: &QueryExpr) -> Arc<Program> {
+        let _plan = obs::span("plan");
         let key = expr.cache_key();
         {
             let mut inner = self.inner.lock().expect("plan cache lock");
@@ -805,11 +830,16 @@ impl PlanCache {
             if let Some(entry) = inner.entries.get_mut(&key) {
                 entry.last_used = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                obs::count("hit", 1);
                 return Arc::clone(&entry.program);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let program = Arc::new(Program::compile(expr));
+        obs::count("hit", 0);
+        let program = {
+            let _compile = obs::span("compile");
+            Arc::new(Program::compile(expr))
+        };
         if self.capacity == 0 {
             return program;
         }
@@ -844,6 +874,30 @@ impl PlanCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             len: self.inner.lock().expect("plan cache lock").entries.len(),
         }
+    }
+
+    /// Register this cache's effectiveness counters into a metrics
+    /// registry as `vdx_plan_cache_*` collectors.
+    pub fn register_metrics(self: &Arc<Self>, registry: &obs::Registry) {
+        for (event, pick) in [("hit", 0usize), ("miss", 1), ("eviction", 2)] {
+            let cache = Arc::clone(self);
+            registry.counter_fn(
+                "vdx_plan_cache_events_total",
+                "Plan cache lookups and evictions by outcome.",
+                &[("event", event)],
+                move || {
+                    let s = cache.stats();
+                    [s.hits, s.misses, s.evictions][pick]
+                },
+            );
+        }
+        let cache = Arc::clone(self);
+        registry.gauge_fn(
+            "vdx_plan_cache_len",
+            "Compiled programs currently held by the plan cache.",
+            &[],
+            move || cache.stats().len as f64,
+        );
     }
 }
 

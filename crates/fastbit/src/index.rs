@@ -65,6 +65,23 @@ pub fn encoding_stats() -> EncodingStatsSnapshot {
     }
 }
 
+/// Register the process-wide encoding-selection counters into a metrics
+/// registry as `vdx_index_encoding_queries_total{encoding=…}`.
+pub fn register_encoding_metrics(registry: &obs::Registry) {
+    registry.counter_fn(
+        "vdx_index_encoding_queries_total",
+        "Index-backed predicate evaluations by chosen bitmap encoding.",
+        &[("encoding", "equality")],
+        || ENC_EQUALITY_QUERIES.load(Ordering::Relaxed),
+    );
+    registry.counter_fn(
+        "vdx_index_encoding_queries_total",
+        "Index-backed predicate evaluations by chosen bitmap encoding.",
+        &[("encoding", "range")],
+        || ENC_RANGE_QUERIES.load(Ordering::Relaxed),
+    );
+}
+
 /// Count one index-backed predicate evaluation under `encoding`. The auto
 /// paths ([`BitmapIndex::evaluate`] / [`BitmapIndex::evaluate_index_only`])
 /// count internally; the compiled engine forces the plan-recorded encoding

@@ -63,7 +63,10 @@ pub use bitvec::BitVec;
 pub use compile::{OpCode, PlanCache, PlanCacheStats, PlanMode, PredSource, Program, Root};
 pub use error::{FastBitError, Result};
 pub use hist::{BinSpec, HistEngine, HistogramEngine};
-pub use index::{encoding_stats, BitmapIndex, EncodingStatsSnapshot, IdIndex, IndexEncoding};
+pub use index::{
+    encoding_stats, register_encoding_metrics, BitmapIndex, EncodingStatsSnapshot, IdIndex,
+    IndexEncoding,
+};
 pub use par::{ChunkMasks, ParExec, ParStatsSnapshot, Zone, ZoneMaps};
 pub use persist::{PersistError, PersistResult};
 pub use query::{

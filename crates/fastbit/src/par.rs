@@ -225,6 +225,17 @@ impl ParStats {
     }
 }
 
+/// Per-evaluation chunk tallies. Workers accumulate here so one query's
+/// pruning counts can be attached to its trace; the coordinator flushes the
+/// totals into the executor's lifetime [`ParStats`] once the chunks finish.
+#[derive(Debug, Default)]
+struct ChunkTally {
+    pruned_empty: AtomicU64,
+    pruned_full: AtomicU64,
+    scanned: AtomicU64,
+    indexed: AtomicU64,
+}
+
 /// Configuration of the chunked parallel evaluator: thread count, chunk size
 /// and whether zone-map pruning is enabled (disabling it exists for the
 /// prune-vs-scan differential tests — results must be identical either way).
@@ -305,6 +316,42 @@ impl ParExec {
     /// Snapshot of the lifetime counters.
     pub fn stats(&self) -> ParStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Register this executor's lifetime counters into a metrics registry:
+    /// `vdx_par_queries_total` and `vdx_par_chunks_total` by outcome. The
+    /// collectors hold a reference to the shared stats, so clones of this
+    /// executor keep feeding them.
+    pub fn register_metrics(&self, registry: &obs::Registry) {
+        let stats = Arc::clone(&self.stats);
+        registry.counter_fn(
+            "vdx_par_queries_total",
+            "Chunked parallel query evaluations performed.",
+            &[],
+            move || stats.queries.load(Ordering::Relaxed),
+        );
+        for (outcome, pick) in [
+            ("pruned_empty", 0usize),
+            ("pruned_full", 1),
+            ("scanned", 2),
+            ("indexed", 3),
+        ] {
+            let stats = Arc::clone(&self.stats);
+            registry.counter_fn(
+                "vdx_par_chunks_total",
+                "Predicate-chunks processed by the chunked engine, by outcome.",
+                &[("outcome", outcome)],
+                move || {
+                    let s = stats.snapshot();
+                    [
+                        s.chunks_pruned_empty,
+                        s.chunks_pruned_full,
+                        s.chunks_scanned,
+                        s.chunks_indexed,
+                    ][pick]
+                },
+            );
+        }
     }
 
     /// Run `work(chunk_index)` for every chunk in `0..num_chunks` over the
@@ -611,6 +658,7 @@ pub fn evaluate_chunk_masks_program(
     provider: &(impl ColumnProvider + Sync),
     exec: &ParExec,
 ) -> Result<ChunkMasks> {
+    let _eval = obs::span("evaluate");
     let num_rows = provider.num_rows();
     let chunk_rows = exec.chunk_rows();
     // Resolve every referenced column once, up front: the error surface
@@ -650,6 +698,9 @@ pub fn evaluate_chunk_masks_program(
     for (pred, source) in program.slots().iter().zip(&sources) {
         match *source {
             PredSource::Index { encoding, .. } => {
+                let _slot = obs::span("slot");
+                obs::note("pred", || pred.to_string());
+                obs::note("source", || "index".to_string());
                 let index = provider.index(&pred.column).expect("planned index slot");
                 let data = columns.get(pred.column.as_str()).expect("resolved column");
                 let selection = index.evaluate_with(&pred.range, data, encoding)?;
@@ -661,6 +712,7 @@ pub fn evaluate_chunk_masks_program(
     }
     let num_chunks = num_rows.div_ceil(chunk_rows);
     exec.stats.queries.fetch_add(1, Ordering::Relaxed);
+    let tally = ChunkTally::default();
     let masks = exec.run_chunks(num_chunks, |chunk| {
         let start = chunk * chunk_rows;
         let len = chunk_rows.min(num_rows - start);
@@ -672,7 +724,7 @@ pub fn evaluate_chunk_masks_program(
                 slot_answers[i].as_deref(),
                 &columns,
                 &zones,
-                exec,
+                &tally,
                 chunk,
                 start,
                 len,
@@ -680,6 +732,28 @@ pub fn evaluate_chunk_masks_program(
         }
         Ok(run_ops_masks(program, slot_masks, len))
     })?;
+    // Flush this query's tallies into the lifetime counters and onto the
+    // active trace (the workers ran outside the tracing thread, so the
+    // counts attach here, on the coordinating thread).
+    let (pe, pf, sc, ix) = (
+        tally.pruned_empty.load(Ordering::Relaxed),
+        tally.pruned_full.load(Ordering::Relaxed),
+        tally.scanned.load(Ordering::Relaxed),
+        tally.indexed.load(Ordering::Relaxed),
+    );
+    exec.stats
+        .chunks_pruned_empty
+        .fetch_add(pe, Ordering::Relaxed);
+    exec.stats
+        .chunks_pruned_full
+        .fetch_add(pf, Ordering::Relaxed);
+    exec.stats.chunks_scanned.fetch_add(sc, Ordering::Relaxed);
+    exec.stats.chunks_indexed.fetch_add(ix, Ordering::Relaxed);
+    obs::count("chunks", num_chunks as u64);
+    obs::count("pruned_empty", pe);
+    obs::count("pruned_full", pf);
+    obs::count("scanned", sc);
+    obs::count("indexed", ix);
     Ok(ChunkMasks {
         chunk_rows,
         num_rows,
@@ -708,13 +782,13 @@ fn eval_slot_chunk(
     answer: Option<&[u64]>,
     columns: &BTreeMap<String, &[f64]>,
     zones: &BTreeMap<String, Option<Arc<ZoneMaps>>>,
-    exec: &ParExec,
+    tally: &ChunkTally,
     chunk: usize,
     start: usize,
     len: usize,
 ) -> Result<Mask> {
     if let Some(words) = answer {
-        exec.stats.chunks_indexed.fetch_add(1, Ordering::Relaxed);
+        tally.indexed.fetch_add(1, Ordering::Relaxed);
         return Ok(Mask::Bits(slice_bits(words, start, len)).normalized(len));
     }
     let data = columns
@@ -728,21 +802,17 @@ fn eval_slot_chunk(
         };
         match zone.classify(&pred.range) {
             ZoneVerdict::Empty => {
-                exec.stats
-                    .chunks_pruned_empty
-                    .fetch_add(1, Ordering::Relaxed);
+                tally.pruned_empty.fetch_add(1, Ordering::Relaxed);
                 return Ok(Mask::Empty);
             }
             ZoneVerdict::Full => {
-                exec.stats
-                    .chunks_pruned_full
-                    .fetch_add(1, Ordering::Relaxed);
+                tally.pruned_full.fetch_add(1, Ordering::Relaxed);
                 return Ok(Mask::Full);
             }
             ZoneVerdict::Scan => {}
         }
     }
-    exec.stats.chunks_scanned.fetch_add(1, Ordering::Relaxed);
+    tally.scanned.fetch_add(1, Ordering::Relaxed);
     let mut words = vec![0u64; words_for(len)];
     for (i, &v) in slice.iter().enumerate() {
         if pred.range.contains(v) {

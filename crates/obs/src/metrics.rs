@@ -1,0 +1,649 @@
+//! A process-wide metrics registry with Prometheus-style text exposition.
+//!
+//! Three instrument kinds cover everything the stack reports today:
+//!
+//! * [`Counter`] — a monotonically increasing `u64`;
+//! * [`Gauge`] — a signed value that can move both ways (e.g. in-flight
+//!   requests);
+//! * [`LatencyHistogram`] — a lock-free log₁₀-scale latency sketch (140
+//!   atomic buckets spanning 1 µs … 10 s, 20 per decade) exposed as a
+//!   Prometheus *summary* with `0.5`/`0.99` quantiles, `_sum` and `_count`.
+//!
+//! Layers that already keep their own atomic statistics (cache hit counts,
+//! pruning tallies, …) register *collector closures* instead
+//! ([`Registry::counter_fn`] / [`Registry::gauge_fn`]) so one snapshot
+//! surface serves both `STATS` and `METRICS` without duplicating state.
+//!
+//! [`Registry::render`] produces the text exposition format: one
+//! `# HELP` / `# TYPE` block per metric family (in first-registration
+//! order), then one sample line per labelled instrument.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Log10-micros histogram range: 10^0 µs .. 10^7 µs (= 10 s).
+const LOG_LO: f64 = 0.0;
+/// Upper bound of the log10-micros range.
+const LOG_HI: f64 = 7.0;
+/// Number of histogram buckets (20 per decade).
+const LOG_BINS: usize = 140;
+/// Width of one bucket in log10 space.
+const LOG_STEP: f64 = (LOG_HI - LOG_LO) / LOG_BINS as f64;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can rise and fall.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free log₁₀-scale latency histogram over microseconds.
+///
+/// Semantics match the server's historical `OpMetrics` sketch: 140 buckets
+/// spanning 1 µs to 10 s (20 per decade, ~12% relative quantile error),
+/// sub-microsecond samples clamp to the 1 µs bottom bucket, samples beyond
+/// 10 s land in an overflow bucket and report as the 10 s range top.
+/// Unlike the old `Mutex<Hist1D>` the buckets are plain atomics, so
+/// recording never blocks and scraping never stalls a request.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..LOG_BINS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample.
+    pub fn record(&self, elapsed: Duration) {
+        self.record_us(elapsed.as_secs_f64() * 1e6);
+    }
+
+    /// Record one latency sample given in microseconds.
+    pub fn record_us(&self, us: f64) {
+        let log = us.max(1.0).log10();
+        if log >= LOG_HI {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = (((log - LOG_LO) / LOG_STEP) as usize).min(LOG_BINS - 1);
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us.max(0.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, in whole microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile in microseconds (`q` in `[0, 1]`, clamped).
+    /// `None` when no sample has ever been recorded — a never-exercised
+    /// instrument is not the same as a very fast one, and callers render
+    /// the distinction as `-` (or `NaN` in the Prometheus exposition).
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // q = 0 resolves to the first occupied bucket, q = 1 to the last.
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            seen += c;
+            if c > 0 && seen >= target {
+                // Bucket centre in log space, mapped back to micros.
+                let centre = LOG_LO + (i as f64 + 0.5) * LOG_STEP;
+                return Some(10f64.powf(centre));
+            }
+        }
+        // Only overflow (>10 s) samples remain.
+        Some(10f64.powf(LOG_HI))
+    }
+}
+
+/// What a registered entry renders as.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    /// Snapshot closure rendered as a counter (for pre-existing atomic
+    /// stats that are monotonic but owned elsewhere).
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    /// Snapshot closure rendered as a gauge.
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+    Summary(Arc<LatencyHistogram>),
+}
+
+impl Instrument {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) | Instrument::CounterFn(_) => "counter",
+            Instrument::Gauge(_) | Instrument::GaugeFn(_) => "gauge",
+            Instrument::Summary(_) => "summary",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A registry of named instruments, rendered on demand as Prometheus-style
+/// text exposition.
+///
+/// Registration order is preserved: samples of the same metric family
+/// (same name) are grouped under one `# HELP` / `# TYPE` block at the
+/// position of the family's first registration. Names must match
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` and label names `[a-zA-Z_][a-zA-Z0-9_]*`;
+/// violations panic at registration time (they are programming errors, and
+/// every name in the stack is a compile-time literal).
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let entries = self.entries.lock().expect("registry poisoned");
+        f.debug_struct("Registry")
+            .field("entries", &entries.len())
+            .finish()
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escape a label value per the exposition format: backslash, double-quote
+/// and newline must be escaped inside the quoted value.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float sample value: integral values render without a fraction
+/// so counters stay integer-looking, `NaN` renders as the literal `NaN`.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, name: &str, help: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_label_name(k), "invalid label name {k:?}");
+        }
+        let entry = Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            instrument,
+        };
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(prev) = entries.iter().find(|e| e.name == entry.name) {
+            assert_eq!(
+                prev.instrument.type_name(),
+                entry.instrument.type_name(),
+                "metric {name:?} registered with two different types"
+            );
+            assert!(
+                !entries
+                    .iter()
+                    .any(|e| e.name == entry.name && e.labels == entry.labels),
+                "metric {name:?} registered twice with identical labels"
+            );
+        }
+        entries.push(entry);
+    }
+
+    /// Register and return a new [`Counter`].
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let c = Arc::new(Counter::default());
+        self.push(name, help, labels, Instrument::Counter(c.clone()));
+        c
+    }
+
+    /// Register and return a new [`Gauge`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let g = Arc::new(Gauge::default());
+        self.push(name, help, labels, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Register and return a new [`LatencyHistogram`], exposed as a
+    /// Prometheus summary (`quantile="0.5"`, `quantile="0.99"`, `_sum`,
+    /// `_count`).
+    pub fn summary(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LatencyHistogram> {
+        let h = Arc::new(LatencyHistogram::default());
+        self.push(name, help, labels, Instrument::Summary(h.clone()));
+        h
+    }
+
+    /// Register a snapshot closure rendered as a counter. Use for monotonic
+    /// statistics that already live elsewhere as atomics (cache hit counts,
+    /// pruning tallies) — the closure is called at every render.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.push(name, help, labels, Instrument::CounterFn(Box::new(f)));
+    }
+
+    /// Register a snapshot closure rendered as a gauge (resident bytes,
+    /// uptime, queue lengths, …). The closure is called at every render.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.push(name, help, labels, Instrument::GaugeFn(Box::new(f)));
+    }
+
+    /// Render the whole registry as Prometheus-style text exposition.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for entry in entries.iter() {
+            if seen.iter().any(|n| *n == entry.name) {
+                continue;
+            }
+            seen.push(&entry.name);
+            out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+            out.push_str(&format!(
+                "# TYPE {} {}\n",
+                entry.name,
+                entry.instrument.type_name()
+            ));
+            for e in entries.iter().filter(|e| e.name == entry.name) {
+                render_entry(&mut out, e);
+            }
+        }
+        out
+    }
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn render_entry(out: &mut String, e: &Entry) {
+    match &e.instrument {
+        Instrument::Counter(c) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                c.get()
+            ));
+        }
+        Instrument::CounterFn(f) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                f()
+            ));
+        }
+        Instrument::Gauge(g) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                g.get()
+            ));
+        }
+        Instrument::GaugeFn(f) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                format_value(f())
+            ));
+        }
+        Instrument::Summary(h) => {
+            for q in ["0.5", "0.99"] {
+                let v = h
+                    .quantile_us(q.parse().expect("static quantile"))
+                    .unwrap_or(f64::NAN);
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    e.name,
+                    label_block(&e.labels, Some(("quantile", q))),
+                    format_value(v)
+                ));
+            }
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                h.sum_us()
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                e.name,
+                label_block(&e.labels, None),
+                h.count()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_move() {
+        let r = Registry::new();
+        let c = r.counter("test_total", "A test counter.", &[("op", "x")]);
+        let g = r.gauge("test_gauge", "A test gauge.", &[]);
+        c.inc();
+        c.add(4);
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(c.get(), 5);
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        let text = r.render();
+        assert!(text.contains("test_total{op=\"x\"} 5\n"), "{text}");
+        assert!(text.contains("test_gauge -7\n"), "{text}");
+    }
+
+    #[test]
+    fn quantiles_track_recorded_magnitudes() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None, "no samples yet");
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(50));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.5).unwrap();
+        assert!((80.0..130.0).contains(&p50), "p50 ≈ 100µs, got {p50}");
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!((35_000.0..70_000.0).contains(&p99), "p99 ≈ 50ms, got {p99}");
+        assert!(h.sum_us() >= 90 * 100 + 10 * 50_000);
+    }
+
+    #[test]
+    fn histogram_clamps_both_ends() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(5));
+        h.record(Duration::ZERO);
+        let p50 = h.quantile_us(0.5).unwrap();
+        assert!(
+            (0.9..1.3).contains(&p50),
+            "sub-µs clamps to 1 µs, got {p50}"
+        );
+        let big = LatencyHistogram::default();
+        big.record(Duration::from_secs(100));
+        assert!(big.quantile_us(0.5).unwrap() >= 10f64.powf(6.9));
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_first_and_last_occupied_buckets() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_millis(100));
+        let q0 = h.quantile_us(0.0).unwrap();
+        assert!((8.0..13.0).contains(&q0), "q=0 → first sample, got {q0}");
+        let q1 = h.quantile_us(1.0).unwrap();
+        assert!(
+            (80_000.0..130_000.0).contains(&q1),
+            "q=1 → last sample, got {q1}"
+        );
+        assert_eq!(h.quantile_us(-3.0), h.quantile_us(0.0));
+        assert_eq!(h.quantile_us(42.0), h.quantile_us(1.0));
+    }
+
+    #[test]
+    fn summary_renders_quantiles_sum_and_count() {
+        let r = Registry::new();
+        let h = r.summary("test_latency_us", "Latency.", &[("op", "select")]);
+        h.record(Duration::from_micros(100));
+        let text = r.render();
+        assert!(text.contains("# TYPE test_latency_us summary\n"), "{text}");
+        assert!(
+            text.contains("test_latency_us{op=\"select\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_latency_us_sum{op=\"select\"} 100\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("test_latency_us_count{op=\"select\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_summary_renders_nan_quantiles() {
+        let r = Registry::new();
+        let _ = r.summary("idle_latency_us", "Never exercised.", &[]);
+        let text = r.render();
+        assert!(
+            text.contains("idle_latency_us{quantile=\"0.5\"} NaN\n"),
+            "{text}"
+        );
+        assert!(text.contains("idle_latency_us_count 0\n"), "{text}");
+    }
+
+    #[test]
+    fn families_group_under_one_header() {
+        let r = Registry::new();
+        let a = r.counter("ops_total", "Ops.", &[("op", "a")]);
+        let _other = r.counter("something_else", "Else.", &[]);
+        let b = r.counter("ops_total", "Ops.", &[("op", "b")]);
+        a.inc();
+        b.add(2);
+        let text = r.render();
+        assert_eq!(
+            text.matches("# TYPE ops_total counter").count(),
+            1,
+            "one TYPE line per family: {text}"
+        );
+        let a_pos = text.find("ops_total{op=\"a\"} 1").unwrap();
+        let b_pos = text.find("ops_total{op=\"b\"} 2").unwrap();
+        let else_pos = text.find("# HELP something_else").unwrap();
+        assert!(a_pos < b_pos, "registration order preserved");
+        assert!(b_pos < else_pos, "family grouped at first registration");
+    }
+
+    #[test]
+    fn collector_closures_snapshot_at_render_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let r = Registry::new();
+        let shared = Arc::new(AtomicU64::new(0));
+        let s = shared.clone();
+        r.counter_fn("external_hits_total", "External.", &[], move || {
+            s.load(Ordering::Relaxed)
+        });
+        r.gauge_fn("external_ratio", "Ratio.", &[], || 0.25);
+        shared.store(42, Ordering::Relaxed);
+        let text = r.render();
+        assert!(text.contains("external_hits_total 42\n"), "{text}");
+        assert!(text.contains("external_ratio 0.25\n"), "{text}");
+    }
+
+    #[test]
+    fn label_values_escape_quotes_and_newlines() {
+        let r = Registry::new();
+        let c = r.counter("esc_total", "Escapes.", &[("q", "a\"b\\c\nd")]);
+        c.inc();
+        let text = r.render();
+        assert!(text.contains(r#"esc_total{q="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_names_panic() {
+        let r = Registry::new();
+        let _ = r.counter("9bad", "Bad.", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_and_labels_panic() {
+        let r = Registry::new();
+        let _ = r.counter("dup_total", "Dup.", &[("op", "x")]);
+        let _ = r.counter("dup_total", "Dup.", &[("op", "x")]);
+    }
+
+    #[test]
+    fn every_render_line_is_well_formed() {
+        let r = Registry::new();
+        let c = r.counter("wf_total", "Well formed.", &[("op", "select")]);
+        c.add(3);
+        let h = r.summary("wf_latency_us", "Latency.", &[]);
+        h.record(Duration::from_micros(7));
+        r.gauge_fn("wf_ratio", "Ratio.", &[], || 1.5);
+        for line in r.render().lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line has value");
+            let name = name_part.split('{').next().unwrap();
+            assert!(valid_metric_name(name), "{line}");
+            assert!(
+                value == "NaN" || value.parse::<f64>().is_ok(),
+                "unparseable value in {line}"
+            );
+        }
+    }
+}

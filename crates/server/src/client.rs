@@ -47,6 +47,37 @@ impl Client {
         let reply = self.request("STATS")?;
         Ok(parse_stats(&reply))
     }
+
+    /// Issue `METRICS` and read the full multi-line reply: the header line
+    /// `OK\tMETRICS\t<n>` followed by exactly `n` Prometheus text-exposition
+    /// lines, returned without the header.
+    pub fn metrics(&mut self) -> std::io::Result<Vec<String>> {
+        let header = self.request("METRICS")?;
+        let count: usize = header
+            .strip_prefix("OK\tMETRICS\t")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad METRICS header: {header}"),
+                )
+            })?;
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "METRICS body truncated",
+                ));
+            }
+            while line.ends_with(['\n', '\r']) {
+                line.pop();
+            }
+            lines.push(line);
+        }
+        Ok(lines)
+    }
 }
 
 /// Split an `OK\tSTATS\tk=v\t…` reply into a key → value map (empty map for

@@ -14,9 +14,13 @@
 //! * [`query_cache::QueryCache`] (layer 2) — memoized reply payloads keyed
 //!   by `(step, normalized query)` via [`fastbit::QueryExpr::cache_key`], so
 //!   a repeated query shape skips index evaluation entirely.
-//! * [`metrics::ServerMetrics`] — per-op request counts and latency
-//!   quantiles (via [`histogram::Hist1D`]) surfaced through the `STATS`
-//!   verb.
+//! * [`metrics::ServerMetrics`] — per-verb request counts and latency
+//!   quantiles, registered (alongside every cache/store/engine collector)
+//!   in one [`obs::Registry`] surfaced through the `STATS` key=value fields
+//!   and the `METRICS` Prometheus text exposition.
+//! * [`obs::Tracer`] — sampled per-request span traces with per-stage
+//!   timings (`TRACE LAST` / `TRACE <id>`) and a slow-query ring
+//!   (`SLOWLOG`), configured by `--trace-sample` and `--slow-ms`.
 //! * [`client::Client`] — a blocking client used by the CLI query mode, the
 //!   CI smoke driver and the tests.
 

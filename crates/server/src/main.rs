@@ -5,7 +5,7 @@
 //! vdx-server serve --dir DIR [--addr 127.0.0.1:7878] [--workers N]
 //!                  [--cache-mb MB] [--query-cache N] [--nodes N]
 //!                  [--threads N] [--chunk-rows N] [--index-accel]
-//!                  [--store-dir DIR]
+//!                  [--store-dir DIR] [--trace-sample N] [--slow-ms MS]
 //! vdx-server query --addr HOST:PORT <verb> [field ...]
 //! vdx-server smoke [--dir DIR] [--store-dir DIR]
 //! vdx-server bench [--clients N] [--rounds N] [--particles N] [--timesteps N]
@@ -16,6 +16,11 @@
 //! and the `SAVE`/`WARM` protocol verbs (plus the `store_*` `STATS` fields)
 //! drive and observe it. `smoke --dir --store-dir` reuses the catalog across
 //! invocations, so a second run exercises a warm start.
+//!
+//! `--trace-sample N` records every Nth request as a per-stage span trace
+//! (`1` — the default — traces everything, `0` disables tracing) and
+//! `--slow-ms MS` sets the slow-query threshold; the `TRACE`, `SLOWLOG` and
+//! `METRICS` verbs expose the recorder and the metrics registry.
 //!
 //! `query` joins its trailing arguments with tabs, so a shell session looks
 //! like `vdx-server query --addr 127.0.0.1:7878 SELECT 19 "px > 1e10"`.
@@ -54,6 +59,8 @@ fn server_config(args: &[String]) -> ServerConfig {
             shards: defaults.dataset_cache.shards,
         },
         query_cache_entries: parsed_flag(args, "--query-cache", defaults.query_cache_entries),
+        trace_sample: parsed_flag(args, "--trace-sample", defaults.trace_sample),
+        slow_ms: parsed_flag(args, "--slow-ms", defaults.slow_ms),
         ..defaults
     }
 }
@@ -69,7 +76,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: vdx-server <serve|query|smoke|bench> [options]\n\
-                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--index-accel] [--store-dir DIR]\n\
+                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--index-accel] [--store-dir DIR] [--trace-sample N] [--slow-ms MS]\n\
                  \x20 query --addr HOST:PORT <verb> [field ...]\n\
                  \x20 smoke [--dir DIR] [--store-dir DIR]\n\
                  \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N]"
@@ -247,6 +254,37 @@ fn smoke(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    // Observability: the last scripted request (a cold conditional HIST)
+    // was traced, so TRACE LAST renders its full per-stage span tree — the
+    // CI smoke greps these stage names from the output.
+    let trace = client.request("TRACE\tLAST").map_err(|e| e.to_string())?;
+    println!("smoke: TRACE LAST -> {trace}");
+    if !trace.starts_with("OK\tTRACE\t") {
+        return Err(format!("trace failed: {trace}"));
+    }
+    for stage in ["parse", "query_cache", "evaluate", "serialize"] {
+        if !trace.contains(stage) {
+            return Err(format!("trace is missing the {stage} stage: {trace}"));
+        }
+    }
+    let metrics = client.metrics().map_err(|e| e.to_string())?;
+    println!("smoke: METRICS -> {} exposition lines", metrics.len());
+    for needle in [
+        "vdx_requests_total{op=\"select\"}",
+        "vdx_inflight_requests",
+        "vdx_uptime_seconds",
+    ] {
+        match metrics.iter().find(|l| l.starts_with(needle)) {
+            Some(line) => println!("smoke: METRICS sample -> {line}"),
+            None => return Err(format!("METRICS is missing {needle}")),
+        }
+    }
+    let slowlog = client.request("SLOWLOG").map_err(|e| e.to_string())?;
+    println!("smoke: SLOWLOG -> {}", truncate(&slowlog, 120));
+    if !slowlog.starts_with("OK\tSLOWLOG\t") {
+        return Err(format!("slowlog failed: {slowlog}"));
+    }
+
     // Refine the selection at an earlier step, then track the refined beam.
     let refine = format!("REFINE\t{}\t{selected_ids}\ty > -1e9", last - 1);
     let reply = client.request(&refine).map_err(|e| e.to_string())?;

@@ -1,66 +1,85 @@
 //! Per-operation server metrics: request counts, error counts and latency
-//! quantiles.
+//! quantiles, built on the [`obs`] metrics registry.
 //!
-//! Latencies are recorded into a [`Hist1D`] over `log10(microseconds)` —
-//! 140 bins spanning 1 µs to 10 s, i.e. 20 bins per decade — so quantile
-//! estimates stay within ~12% relative error at any magnitude without
-//! keeping raw samples. This reuses the workspace's own histogram machinery
-//! rather than a dedicated HDR implementation.
+//! Every protocol verb owns an [`OpMetrics`] triple — a success counter, an
+//! error counter and a lock-free log₁₀-scale latency histogram — registered
+//! in the server's [`obs::Registry`] under `vdx_requests_total`,
+//! `vdx_request_errors_total` and `vdx_request_latency_us` with an
+//! `op="<verb>"` label, so the same instruments back both the `STATS`
+//! key=value fields and the `METRICS` Prometheus exposition. The historical
+//! `meta_*` aggregate over the metadata verbs (PING/INFO/STATS/SAVE/WARM
+//! plus the observability verbs) is kept for `STATS` compatibility but held
+//! out of the registry — its samples would double-count the per-verb series.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use histogram::{BinEdges, Hist1D};
-use parking_lot::Mutex;
-
-/// Log10-micros histogram range: 10^0 µs .. 10^7 µs (= 10 s).
-const LOG_LO: f64 = 0.0;
-const LOG_HI: f64 = 7.0;
-const LOG_BINS: usize = 140;
+use obs::{Counter, Gauge, LatencyHistogram, Registry};
 
 /// Counters and a latency histogram for one operation type.
 #[derive(Debug)]
 pub struct OpMetrics {
-    count: AtomicU64,
-    errors: AtomicU64,
-    latency: Mutex<Hist1D>,
-}
-
-impl Default for OpMetrics {
-    fn default() -> Self {
-        let edges = BinEdges::uniform(LOG_LO, LOG_HI, LOG_BINS).expect("static edges");
-        Self {
-            count: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            latency: Mutex::new(Hist1D::new(edges)),
-        }
-    }
+    count: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<LatencyHistogram>,
 }
 
 impl OpMetrics {
+    /// Register a per-verb triple in `registry` labelled `op="<op>"`.
+    fn register(registry: &Registry, op: &'static str) -> Self {
+        let labels = [("op", op)];
+        Self {
+            count: registry.counter(
+                "vdx_requests_total",
+                "Successful requests handled, by protocol operation.",
+                &labels,
+            ),
+            errors: registry.counter(
+                "vdx_request_errors_total",
+                "Failed requests, by protocol operation.",
+                &labels,
+            ),
+            latency: registry.summary(
+                "vdx_request_latency_us",
+                "Request latency in microseconds, by protocol operation.",
+                &labels,
+            ),
+        }
+    }
+
+    /// An instrument triple that is not surfaced through any registry —
+    /// used for the `meta_*` aggregate, whose samples are already counted
+    /// by the per-verb series.
+    fn unregistered() -> Self {
+        Self {
+            count: Arc::new(Counter::default()),
+            errors: Arc::new(Counter::default()),
+            latency: Arc::new(LatencyHistogram::default()),
+        }
+    }
+
     /// Record one successful request and its wall-clock duration.
     /// Sub-microsecond durations clamp to the 1 µs bottom of the histogram;
-    /// durations beyond 10 s land in the out-of-range bucket and report as
-    /// the 10 s range top.
+    /// durations beyond 10 s land in the overflow bucket and report as the
+    /// 10 s range top.
     pub fn record(&self, elapsed: Duration) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        let micros = elapsed.as_secs_f64() * 1e6;
-        self.latency.lock().push(micros.max(1.0).log10());
+        self.count.inc();
+        self.latency.record(elapsed);
     }
 
     /// Record one failed request (no latency sample).
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Number of successful requests.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.get()
     }
 
     /// Number of failed requests.
     pub fn errors(&self) -> u64 {
-        self.errors.load(Ordering::Relaxed)
+        self.errors.get()
     }
 
     /// Approximate latency quantile in microseconds (`q` in `[0, 1]`,
@@ -68,30 +87,14 @@ impl OpMetrics {
     /// never-exercised op is not the same as a very fast one, and `STATS`
     /// renders the distinction as `-`.
     pub fn quantile_us(&self, q: f64) -> Option<f64> {
-        let hist = self.latency.lock();
-        let total = hist.total() + hist.out_of_range();
-        if total == 0 {
-            return None;
-        }
-        // q = 0 resolves to the first occupied bin, q = 1 to the last.
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in hist.counts().iter().enumerate() {
-            seen += c;
-            if c > 0 && seen >= target {
-                // Bin centre in log space, mapped back to micros.
-                let (lo, hi) = hist.edges().bin_range(i);
-                return Some(10f64.powf((lo + hi) / 2.0));
-            }
-        }
-        // Only out-of-range (>10 s) samples remain.
-        Some(10f64.powf(LOG_HI))
+        self.latency.quantile_us(q)
     }
 }
 
-/// All server metrics: one [`OpMetrics`] per protocol operation plus the
-/// index-evaluation counter the query cache is measured against.
-#[derive(Debug, Default)]
+/// All server metrics: one [`OpMetrics`] per protocol operation, the
+/// `meta_*` aggregate, the index-evaluation counter the query cache is
+/// measured against, and the in-flight request gauge.
+#[derive(Debug)]
 pub struct ServerMetrics {
     /// SELECT metrics.
     pub select: OpMetrics,
@@ -101,23 +104,75 @@ pub struct ServerMetrics {
     pub hist: OpMetrics,
     /// TRACK metrics.
     pub track: OpMetrics,
-    /// INFO/PING/STATS (metadata) metrics.
+    /// PING metrics.
+    pub ping: OpMetrics,
+    /// INFO metrics.
+    pub info: OpMetrics,
+    /// STATS metrics.
+    pub stats: OpMetrics,
+    /// SAVE metrics.
+    pub save: OpMetrics,
+    /// WARM metrics.
+    pub warm: OpMetrics,
+    /// METRICS metrics.
+    pub metrics: OpMetrics,
+    /// TRACE metrics.
+    pub trace: OpMetrics,
+    /// SLOWLOG metrics.
+    pub slowlog: OpMetrics,
+    /// Aggregate over every metadata verb (PING/INFO/STATS/SAVE/WARM and
+    /// the observability verbs) plus unparseable request lines, kept for
+    /// `STATS` field compatibility. Not registered — the per-verb series
+    /// above already count these samples.
     pub meta: OpMetrics,
-    /// Number of times a request actually evaluated a query against a
-    /// dataset (index or scan). A query-cache hit answers without touching
-    /// this counter — the integration tests assert exactly that.
-    pub evaluations: AtomicU64,
+    evaluations: Arc<Counter>,
+    inflight: Arc<Gauge>,
 }
 
 impl ServerMetrics {
+    /// Register every server-level instrument in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            select: OpMetrics::register(registry, "select"),
+            refine: OpMetrics::register(registry, "refine"),
+            hist: OpMetrics::register(registry, "hist"),
+            track: OpMetrics::register(registry, "track"),
+            ping: OpMetrics::register(registry, "ping"),
+            info: OpMetrics::register(registry, "info"),
+            stats: OpMetrics::register(registry, "stats"),
+            save: OpMetrics::register(registry, "save"),
+            warm: OpMetrics::register(registry, "warm"),
+            metrics: OpMetrics::register(registry, "metrics"),
+            trace: OpMetrics::register(registry, "trace"),
+            slowlog: OpMetrics::register(registry, "slowlog"),
+            meta: OpMetrics::unregistered(),
+            evaluations: registry.counter(
+                "vdx_evaluations_total",
+                "Requests that evaluated a query against a dataset (query-cache misses).",
+                &[],
+            ),
+            inflight: registry.gauge(
+                "vdx_inflight_requests",
+                "Requests currently being handled.",
+                &[],
+            ),
+        }
+    }
+
     /// Note one real query evaluation (cache miss path).
     pub fn note_evaluation(&self) {
-        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        self.evaluations.inc();
     }
 
     /// Total query evaluations performed so far.
     pub fn evaluations(&self) -> u64 {
-        self.evaluations.load(Ordering::Relaxed)
+        self.evaluations.get()
+    }
+
+    /// The in-flight request gauge: incremented when a request line enters
+    /// `handle_line`, decremented when its reply is ready.
+    pub fn inflight(&self) -> &Gauge {
+        &self.inflight
     }
 
     /// Append this op's stats as `<name>_count=…`, `<name>_p50_us=…`,
@@ -139,9 +194,14 @@ impl ServerMetrics {
 mod tests {
     use super::*;
 
+    fn fresh() -> ServerMetrics {
+        ServerMetrics::new(&Registry::new())
+    }
+
     #[test]
     fn quantiles_track_recorded_magnitudes() {
-        let op = OpMetrics::default();
+        let m = fresh();
+        let op = &m.select;
         assert_eq!(op.quantile_us(0.5), None, "no samples yet");
         for _ in 0..90 {
             op.record(Duration::from_micros(100));
@@ -158,18 +218,23 @@ mod tests {
 
     #[test]
     fn errors_do_not_pollute_latency() {
-        let op = OpMetrics::default();
-        op.record_error();
-        op.record_error();
-        assert_eq!(op.errors(), 2);
-        assert_eq!(op.count(), 0);
-        assert_eq!(op.quantile_us(0.99), None, "errors carry no latency sample");
+        let m = fresh();
+        m.hist.record_error();
+        m.hist.record_error();
+        assert_eq!(m.hist.errors(), 2);
+        assert_eq!(m.hist.count(), 0);
+        assert_eq!(
+            m.hist.quantile_us(0.99),
+            None,
+            "errors carry no latency sample"
+        );
     }
 
     #[test]
     fn empty_histogram_renders_as_dash_not_zero() {
+        let m = fresh();
         let mut fields = Vec::new();
-        ServerMetrics::append_op_fields(&mut fields, "select", &OpMetrics::default());
+        ServerMetrics::append_op_fields(&mut fields, "select", &m.select);
         assert!(
             fields.contains(&"select_p50_us=-".to_string()),
             "{fields:?}"
@@ -181,38 +246,48 @@ mod tests {
     }
 
     #[test]
-    fn extreme_quantiles_hit_first_and_last_occupied_bins() {
-        let op = OpMetrics::default();
-        op.record(Duration::from_micros(10));
-        op.record(Duration::from_millis(100));
-        let q0 = op.quantile_us(0.0).unwrap();
-        assert!((8.0..13.0).contains(&q0), "q=0 → first sample, got {q0}");
-        let q1 = op.quantile_us(1.0).unwrap();
+    fn per_verb_series_share_registry_families() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        m.select.record(Duration::from_micros(150));
+        m.ping.record(Duration::from_micros(2));
+        m.track.record_error();
+        m.note_evaluation();
+        m.inflight().inc();
+        let text = registry.render();
         assert!(
-            (80_000.0..130_000.0).contains(&q1),
-            "q=1 → last sample, got {q1}"
+            text.contains("vdx_requests_total{op=\"select\"} 1"),
+            "{text}"
         );
-        // Out-of-clamp-range q values behave like the endpoints.
-        assert_eq!(op.quantile_us(-3.0), op.quantile_us(0.0));
-        assert_eq!(op.quantile_us(42.0), op.quantile_us(1.0));
+        assert!(text.contains("vdx_requests_total{op=\"ping\"} 1"), "{text}");
+        assert!(
+            text.contains("vdx_request_errors_total{op=\"track\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("vdx_request_latency_us{op=\"select\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("vdx_evaluations_total 1"), "{text}");
+        assert!(text.contains("vdx_inflight_requests 1"), "{text}");
+        assert_eq!(
+            text.matches("# TYPE vdx_requests_total counter").count(),
+            1,
+            "one family header for all ops: {text}"
+        );
     }
 
     #[test]
-    fn sub_microsecond_durations_clamp_to_range_bottom() {
-        let op = OpMetrics::default();
-        op.record(Duration::from_nanos(5));
-        op.record(Duration::ZERO);
-        let p50 = op.quantile_us(0.5).unwrap();
+    fn meta_aggregate_stays_out_of_the_registry() {
+        let registry = Registry::new();
+        let m = ServerMetrics::new(&registry);
+        m.meta.record(Duration::from_micros(10));
+        m.ping.record(Duration::from_micros(10));
+        let text = registry.render();
         assert!(
-            (0.9..1.3).contains(&p50),
-            "sub-µs clamps to the 1 µs bottom bin, got {p50}"
+            !text.contains("op=\"meta\""),
+            "meta would double-count the per-verb series: {text}"
         );
-    }
-
-    #[test]
-    fn oversized_latency_clamps_to_range_top() {
-        let op = OpMetrics::default();
-        op.record(Duration::from_secs(100)); // beyond the 10 s histogram
-        assert!(op.quantile_us(0.5).unwrap() >= 10f64.powf(6.9));
+        assert_eq!(m.meta.count(), 1);
     }
 }

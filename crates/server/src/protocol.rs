@@ -25,8 +25,15 @@
 //! | `TRACK\t<ids csv>` | `OK\tTRACK\t<traces>\t<total hits>\t<id:points csv>` |
 //! | `SAVE` | `OK\tSAVE\t<segments>\t<bytes newly written>` (requires `--store-dir`) |
 //! | `WARM` | `OK\tWARM\t<warmed>\t<timesteps>` (requires `--store-dir`) |
+//! | `METRICS` | `OK\tMETRICS\t<lines>` + that many raw exposition lines |
+//! | `TRACE\tLAST` / `TRACE\t<id>` | `OK\tTRACE\t<id>\t<verb>\t<total µs>\t<request>\t<span tree>` |
+//! | `SLOWLOG[\t<n>]` | `OK\tSLOWLOG\t<count>\t<entry>\t…` |
 //! | `QUIT` | `OK\tBYE` (connection closes) |
 //! | `SHUTDOWN` | `OK\tBYE` (server drains and stops) |
+//!
+//! `METRICS` is the protocol's one multi-line reply: the header line carries
+//! the exact number of Prometheus text-exposition lines that follow it, so
+//! a line-oriented client knows how many more lines to consume.
 
 use histogram::Hist1D;
 use pipeline::TrackingOutput;
@@ -77,11 +84,52 @@ pub enum Request {
     /// Preload every timestep through the dataset cache, serving from the
     /// `vdx` store where segments exist (requires `--store-dir`).
     Warm,
+    /// Dump the metrics registry in Prometheus text exposition format (the
+    /// protocol's one multi-line reply).
+    Metrics,
+    /// Fetch a recorded request trace: the most recent one (`TRACE LAST`)
+    /// or a specific request ID (`TRACE <id>`).
+    Trace {
+        /// `None` for the most recent trace, `Some(id)` for a lookup by
+        /// request ID (the main ring is searched first, then the slowlog).
+        id: Option<u64>,
+    },
+    /// List the most recent slow-query entries, newest first.
+    SlowLog {
+        /// Maximum entries to return.
+        limit: usize,
+    },
     /// Close this connection.
     Quit,
     /// Gracefully stop the whole server.
     Shutdown,
 }
+
+impl Request {
+    /// The wire verb of this request, as a static string (used to label
+    /// traces before any reply is assembled).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Ping => "PING",
+            Request::Info => "INFO",
+            Request::Stats => "STATS",
+            Request::Select { .. } => "SELECT",
+            Request::Refine { .. } => "REFINE",
+            Request::Hist { .. } => "HIST",
+            Request::Track { .. } => "TRACK",
+            Request::Save => "SAVE",
+            Request::Warm => "WARM",
+            Request::Metrics => "METRICS",
+            Request::Trace { .. } => "TRACE",
+            Request::SlowLog { .. } => "SLOWLOG",
+            Request::Quit => "QUIT",
+            Request::Shutdown => "SHUTDOWN",
+        }
+    }
+}
+
+/// Default entry count of a bare `SLOWLOG` request.
+pub const SLOWLOG_DEFAULT_LIMIT: usize = 16;
 
 fn parse_ids(field: &str) -> Result<Vec<u64>, String> {
     if field.is_empty() {
@@ -133,6 +181,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ("TRACK", 2) => Ok(Request::Track {
             ids: parse_ids(fields[1])?,
         }),
+        ("METRICS", 1) => Ok(Request::Metrics),
+        ("TRACE", 2) => {
+            let arg = fields[1].trim();
+            if arg.eq_ignore_ascii_case("last") {
+                Ok(Request::Trace { id: None })
+            } else {
+                arg.parse::<u64>()
+                    .map(|id| Request::Trace { id: Some(id) })
+                    .map_err(|_| format!("bad trace id '{arg}' (want LAST or a request id)"))
+            }
+        }
+        ("SLOWLOG", 1) => Ok(Request::SlowLog {
+            limit: SLOWLOG_DEFAULT_LIMIT,
+        }),
+        ("SLOWLOG", 2) => Ok(Request::SlowLog {
+            limit: fields[1]
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| format!("bad slowlog limit '{}'", fields[1]))?,
+        }),
         ("", _) => Err("empty request".to_string()),
         (verb, n) => Err(format!("unknown request '{verb}' with {} field(s)", n - 1)),
     }
@@ -183,6 +251,49 @@ pub fn track_reply(tracking: &TrackingOutput) -> String {
 /// `OK\tINFO\t<timesteps>\t<steps csv>`.
 pub fn info_reply(steps: &[usize]) -> String {
     format!("OK\tINFO\t{}\t{}", steps.len(), csv(steps.iter()))
+}
+
+/// `OK\tMETRICS\t<lines>` followed by exactly that many raw Prometheus
+/// text-exposition lines — the protocol's one multi-line reply. The header
+/// line carries the line count so a line-oriented client knows how many
+/// more lines to read.
+pub fn metrics_reply(exposition: &str) -> String {
+    let lines: Vec<&str> = exposition.lines().collect();
+    let mut out = format!("OK\tMETRICS\t{}", lines.len());
+    for line in lines {
+        out.push('\n');
+        out.push_str(line);
+    }
+    out
+}
+
+/// `OK\tTRACE\t<id>\t<verb>\t<total µs>\t<request>\t<span tree>` — the span
+/// tree rendered by [`obs::Trace::render_line`] (spans joined by `"; "`,
+/// nesting depth as leading dots), which contains no tabs or newlines.
+pub fn trace_reply(trace: &obs::Trace) -> String {
+    format!(
+        "OK\tTRACE\t{}\t{}\t{}\t{}\t{}",
+        trace.id,
+        trace.verb,
+        trace.total_us,
+        trace.request,
+        trace.render_line()
+    )
+}
+
+/// `OK\tSLOWLOG\t<count>\t<entry>\t…` — one tab-separated field per slow
+/// request, newest first, each `<id>:<verb>:<total µs>us <request line>`.
+/// The full span tree of an entry stays retrievable via `TRACE <id>`.
+pub fn slowlog_reply(entries: &[std::sync::Arc<obs::Trace>]) -> String {
+    let mut out = format!("OK\tSLOWLOG\t{}", entries.len());
+    for t in entries {
+        out.push('\t');
+        out.push_str(&format!(
+            "{}:{}:{}us {}",
+            t.id, t.verb, t.total_us, t.request
+        ));
+    }
+    out
 }
 
 /// `ERR\t<message>` with the message flattened to one line.
@@ -254,6 +365,59 @@ mod tests {
             Ok(Request::Track { ids: vec![5, 9] })
         );
         assert_eq!(parse_request("TRACK\t"), Ok(Request::Track { ids: vec![] }));
+    }
+
+    #[test]
+    fn observability_requests_parse() {
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics));
+        assert_eq!(parse_request("metrics"), Ok(Request::Metrics));
+        assert_eq!(
+            parse_request("TRACE\tLAST"),
+            Ok(Request::Trace { id: None })
+        );
+        assert_eq!(
+            parse_request("trace\tlast"),
+            Ok(Request::Trace { id: None })
+        );
+        assert_eq!(
+            parse_request("TRACE\t42"),
+            Ok(Request::Trace { id: Some(42) })
+        );
+        assert_eq!(
+            parse_request("SLOWLOG"),
+            Ok(Request::SlowLog {
+                limit: SLOWLOG_DEFAULT_LIMIT
+            })
+        );
+        assert_eq!(
+            parse_request("SLOWLOG\t3"),
+            Ok(Request::SlowLog { limit: 3 })
+        );
+        assert!(parse_request("TRACE").is_err(), "TRACE needs an argument");
+        assert!(parse_request("TRACE\tfrog").is_err());
+        assert!(parse_request("SLOWLOG\t-1").is_err());
+        assert!(parse_request("METRICS\textra").is_err());
+    }
+
+    #[test]
+    fn metrics_reply_counts_its_exposition_lines() {
+        let reply = metrics_reply("# HELP a A.\n# TYPE a counter\na 1\n");
+        let mut lines = reply.lines();
+        assert_eq!(lines.next(), Some("OK\tMETRICS\t3"));
+        assert_eq!(lines.count(), 3, "header count matches body");
+        assert_eq!(metrics_reply(""), "OK\tMETRICS\t0");
+    }
+
+    #[test]
+    fn verb_names_match_the_wire_protocol() {
+        assert_eq!(Request::Ping.verb(), "PING");
+        assert_eq!(Request::Metrics.verb(), "METRICS");
+        assert_eq!(Request::Trace { id: None }.verb(), "TRACE");
+        assert_eq!(Request::SlowLog { limit: 1 }.verb(), "SLOWLOG");
+        for line in ["PING", "METRICS", "TRACE\tLAST", "SLOWLOG", "QUIT"] {
+            let parsed = parse_request(line).unwrap();
+            assert!(line.starts_with(parsed.verb()), "{line}");
+        }
     }
 
     #[test]

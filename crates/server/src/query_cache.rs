@@ -124,6 +124,31 @@ impl QueryCache {
         );
     }
 
+    /// Register this cache's effectiveness counters and length in an
+    /// [`obs::Registry`] as snapshot collectors, so `METRICS` scrapes and
+    /// `STATS` report from the same atomics.
+    pub fn register_metrics(self: &Arc<Self>, registry: &obs::Registry) {
+        for (event, pick) in [("hit", 0usize), ("miss", 1), ("eviction", 2)] {
+            let cache = Arc::clone(self);
+            registry.counter_fn(
+                "vdx_query_cache_events_total",
+                "Query-cache lookups and evictions, by event.",
+                &[("event", event)],
+                move || {
+                    let s = cache.stats();
+                    [s.hits, s.misses, s.evictions][pick]
+                },
+            );
+        }
+        let cache = Arc::clone(self);
+        registry.gauge_fn(
+            "vdx_query_cache_len",
+            "Memoized replies currently held.",
+            &[],
+            move || cache.stats().len as f64,
+        );
+    }
+
     /// Effectiveness counters.
     pub fn stats(&self) -> QueryCacheStats {
         QueryCacheStats {

@@ -10,8 +10,12 @@
 //! * a [`DatasetCache`] keeping hot timesteps (columns + WAH indexes)
 //!   resident under a byte budget,
 //! * a [`QueryCache`] memoizing SELECT/HIST replies by
-//!   `(step, normalized query)`, and
-//! * [`ServerMetrics`] for per-op counts and latency quantiles.
+//!   `(step, normalized query)`,
+//! * [`ServerMetrics`] — per-verb counts and latency quantiles, all
+//!   registered in one [`obs::Registry`] alongside the cache / store /
+//!   engine collectors and scraped by the `METRICS` verb, and
+//! * an [`obs::Tracer`] sampling requests into per-stage span traces
+//!   (`TRACE LAST`, `TRACE <id>`) with a slow-query ring (`SLOWLOG`).
 //!
 //! Shutdown is graceful: the `SHUTDOWN` verb (or [`ServerHandle::shutdown`])
 //! flips a flag and unblocks the accept loop; workers finish the
@@ -54,6 +58,12 @@ pub struct ServerConfig {
     pub dataset_cache: DatasetCacheConfig,
     /// Maximum memoized query replies (0 disables the query cache).
     pub query_cache_entries: usize,
+    /// Trace every Nth request into the span recorder: `1` traces
+    /// everything (the default), `0` disables tracing entirely.
+    pub trace_sample: u64,
+    /// Requests at least this slow (total wall-clock milliseconds) are
+    /// retained in the `SLOWLOG` ring with their full span trees.
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +77,8 @@ impl Default for ServerConfig {
             engine: HistEngine::FastBit,
             dataset_cache: DatasetCacheConfig::default(),
             query_cache_entries: 1024,
+            trace_sample: 1,
+            slow_ms: 100,
         }
     }
 }
@@ -81,8 +93,11 @@ impl Default for ServerConfig {
 pub struct ServerState {
     explorer: DataExplorer,
     datasets: Arc<DatasetCache>,
-    queries: QueryCache,
+    queries: Arc<QueryCache>,
     metrics: ServerMetrics,
+    registry: Arc<obs::Registry>,
+    tracer: Arc<obs::Tracer>,
+    started: Instant,
     addr: SocketAddr,
     shutdown: AtomicBool,
 }
@@ -98,9 +113,20 @@ impl ServerState {
         &self.queries
     }
 
-    /// The metrics registry.
+    /// The per-verb server metrics.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The metrics registry every layer reports into (rendered by the
+    /// `METRICS` verb).
+    pub fn registry(&self) -> &obs::Registry {
+        &self.registry
+    }
+
+    /// The request tracer behind `TRACE` and `SLOWLOG`.
+    pub fn tracer(&self) -> &obs::Tracer {
+        &self.tracer
     }
 
     fn trigger_shutdown(&self) {
@@ -110,42 +136,49 @@ impl ServerState {
     }
 
     /// Serve one request line; returns the reply and whether the connection
-    /// should close afterwards.
+    /// should close afterwards. The whole request runs inside a sampled
+    /// trace (the guard assembles the span tree when it drops, after the
+    /// reply is ready) and under the in-flight gauge.
     pub fn handle_line(&self, line: &str) -> (String, bool) {
-        let request = match protocol::parse_request(line) {
+        let trace = self.tracer.begin(line);
+        self.metrics.inflight().inc();
+        let result = self.dispatch(line, &trace);
+        self.metrics.inflight().dec();
+        drop(trace);
+        result
+    }
+
+    fn dispatch(&self, line: &str, trace: &obs::RequestGuard<'_>) -> (String, bool) {
+        let parsed = {
+            let _parse = obs::span("parse");
+            protocol::parse_request(line)
+        };
+        let request = match parsed {
             Ok(r) => r,
             Err(msg) => {
                 self.metrics.meta.record_error();
                 return (protocol::err_reply(&msg), false);
             }
         };
+        trace.set_verb(request.verb());
         match request {
             Request::Quit => ("OK\tBYE".to_string(), true),
             Request::Shutdown => {
                 self.trigger_shutdown();
                 ("OK\tBYE".to_string(), true)
             }
-            Request::Ping => {
-                self.metrics.meta.record(std::time::Duration::ZERO);
-                ("OK\tPONG".to_string(), false)
-            }
-            Request::Info => {
-                let started = Instant::now();
-                let reply = protocol::info_reply(&self.explorer.steps());
-                self.metrics.meta.record(started.elapsed());
-                (reply, false)
-            }
-            Request::Stats => {
-                let started = Instant::now();
-                let reply = self.stats_reply();
-                self.metrics.meta.record(started.elapsed());
-                (reply, false)
-            }
+            Request::Ping => self.timed(|_| Ok("OK\tPONG".to_string()), |m| &m.ping, true),
+            Request::Info => self.timed(
+                |s| Ok(protocol::info_reply(&s.explorer.steps())),
+                |m| &m.info,
+                true,
+            ),
+            Request::Stats => self.timed(|s| Ok(s.stats_reply()), |m| &m.stats, true),
             Request::Select { step, query } => {
-                self.timed(|s| s.op_select(step, &query), |m| &m.select)
+                self.timed(|s| s.op_select(step, &query), |m| &m.select, false)
             }
             Request::Refine { step, ids, query } => {
-                self.timed(|s| s.op_refine(step, &ids, &query), |m| &m.refine)
+                self.timed(|s| s.op_refine(step, &ids, &query), |m| &m.refine, false)
             }
             Request::Hist {
                 step,
@@ -155,37 +188,67 @@ impl ServerState {
             } => self.timed(
                 |s| s.op_hist(step, &column, bins, condition.as_deref()),
                 |m| &m.hist,
+                false,
             ),
-            Request::Track { ids } => self.timed(|s| s.op_track(&ids), |m| &m.track),
-            Request::Save => self.timed(|s| s.op_save(), |m| &m.meta),
-            Request::Warm => self.timed(|s| s.op_warm(), |m| &m.meta),
+            Request::Track { ids } => self.timed(|s| s.op_track(&ids), |m| &m.track, false),
+            Request::Save => self.timed(|s| s.op_save(), |m| &m.save, true),
+            Request::Warm => self.timed(|s| s.op_warm(), |m| &m.warm, true),
+            Request::Metrics => self.timed(
+                |s| Ok(protocol::metrics_reply(&s.registry.render())),
+                |m| &m.metrics,
+                true,
+            ),
+            Request::Trace { id } => self.timed(|s| s.op_trace(id), |m| &m.trace, true),
+            Request::SlowLog { limit } => self.timed(
+                |s| Ok(protocol::slowlog_reply(&s.tracer.slowlog(limit))),
+                |m| &m.slowlog,
+                true,
+            ),
         }
     }
 
     /// Run `op`, record its latency (or error) under the metric picked by
-    /// `metric`, and map errors to `ERR` replies.
+    /// `metric` — and, for metadata verbs (`meta`), additionally under the
+    /// historical `meta_*` aggregate — and map errors to `ERR` replies.
     fn timed(
         &self,
         op: impl FnOnce(&Self) -> Result<String, String>,
         metric: impl FnOnce(&ServerMetrics) -> &crate::metrics::OpMetrics,
+        meta: bool,
     ) -> (String, bool) {
         let started = Instant::now();
         match op(self) {
             Ok(reply) => {
-                metric(&self.metrics).record(started.elapsed());
+                let elapsed = started.elapsed();
+                metric(&self.metrics).record(elapsed);
+                if meta {
+                    self.metrics.meta.record(elapsed);
+                }
                 (reply, false)
             }
             Err(msg) => {
                 metric(&self.metrics).record_error();
+                if meta {
+                    self.metrics.meta.record_error();
+                }
                 (protocol::err_reply(&msg), false)
             }
         }
     }
 
+    /// Look `key` up in the query cache under a `query_cache` span noting
+    /// whether it hit.
+    fn cached(&self, key: &str) -> Option<std::sync::Arc<str>> {
+        let _qc = obs::span("query_cache");
+        let hit = self.queries.get(key);
+        obs::count("hit", u64::from(hit.is_some()));
+        hit
+    }
+
     fn op_select(&self, step: usize, query: &str) -> Result<String, String> {
         let expr = parse_query(query).map_err(|e| e.to_string())?;
         let key = format!("select:{step}:{}", expr.cache_key());
-        if let Some(reply) = self.queries.get(&key) {
+        if let Some(reply) = self.cached(&key) {
             return Ok(reply.to_string());
         }
         self.metrics.note_evaluation();
@@ -193,7 +256,10 @@ impl ServerState {
             .explorer
             .select(step, query)
             .map_err(|e| e.to_string())?;
-        let reply = protocol::ids_reply("SELECT", &beam.ids);
+        let reply = {
+            let _ser = obs::span("serialize");
+            protocol::ids_reply("SELECT", &beam.ids)
+        };
         self.queries.insert(key, &reply);
         Ok(reply)
     }
@@ -206,6 +272,7 @@ impl ServerState {
             .explorer
             .refine_ids(step, ids, &expr)
             .map_err(|e| e.to_string())?;
+        let _ser = obs::span("serialize");
         Ok(protocol::ids_reply("REFINE", &refined))
     }
 
@@ -221,7 +288,7 @@ impl ServerState {
             .transpose()?
             .map_or_else(|| "*".to_string(), |c| c.cache_key());
         let key = format!("hist:{step}:{column}:{bins}:{cond_key}");
-        if let Some(reply) = self.queries.get(&key) {
+        if let Some(reply) = self.cached(&key) {
             return Ok(reply.to_string());
         }
         self.metrics.note_evaluation();
@@ -229,7 +296,10 @@ impl ServerState {
             .explorer
             .histogram1d(step, column, bins, condition)
             .map_err(|e| e.to_string())?;
-        let reply = protocol::hist_reply(&hist);
+        let reply = {
+            let _ser = obs::span("serialize");
+            protocol::hist_reply(&hist)
+        };
         self.queries.insert(key, &reply);
         Ok(reply)
     }
@@ -242,12 +312,15 @@ impl ServerState {
             "track:{}",
             ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
         );
-        if let Some(reply) = self.queries.get(&key) {
+        if let Some(reply) = self.cached(&key) {
             return Ok(reply.to_string());
         }
         self.metrics.note_evaluation();
         let tracking = self.explorer.track(ids).map_err(|e| e.to_string())?;
-        let reply = protocol::track_reply(&tracking);
+        let reply = {
+            let _ser = obs::span("serialize");
+            protocol::track_reply(&tracking)
+        };
         self.queries.insert(key, &reply);
         Ok(reply)
     }
@@ -295,6 +368,23 @@ impl ServerState {
             }
         }
         Ok(format!("OK\tWARM\t{warmed}\t{}", steps.len()))
+    }
+
+    /// `TRACE LAST` / `TRACE <id>`: fetch a recorded trace. The request's
+    /// own trace is still open while this runs (the guard drops after the
+    /// reply), so `LAST` always refers to the previously finished request.
+    fn op_trace(&self, id: Option<u64>) -> Result<String, String> {
+        let trace = match id {
+            None => self
+                .tracer
+                .last()
+                .ok_or("no trace recorded yet (is --trace-sample 0?)")?,
+            Some(id) => self
+                .tracer
+                .get(id)
+                .ok_or_else(|| format!("no trace {id} in the ring or slowlog"))?,
+        };
+        Ok(protocol::trace_reply(&trace))
     }
 
     fn stats_reply(&self) -> String {
@@ -347,6 +437,22 @@ impl ServerState {
         ServerMetrics::append_op_fields(&mut fields, "hist", &self.metrics.hist);
         ServerMetrics::append_op_fields(&mut fields, "track", &self.metrics.track);
         ServerMetrics::append_op_fields(&mut fields, "meta", &self.metrics.meta);
+        ServerMetrics::append_op_fields(&mut fields, "ping", &self.metrics.ping);
+        ServerMetrics::append_op_fields(&mut fields, "info", &self.metrics.info);
+        ServerMetrics::append_op_fields(&mut fields, "stats", &self.metrics.stats);
+        ServerMetrics::append_op_fields(&mut fields, "save", &self.metrics.save);
+        ServerMetrics::append_op_fields(&mut fields, "warm", &self.metrics.warm);
+        ServerMetrics::append_op_fields(&mut fields, "metrics", &self.metrics.metrics);
+        ServerMetrics::append_op_fields(&mut fields, "trace", &self.metrics.trace);
+        ServerMetrics::append_op_fields(&mut fields, "slowlog", &self.metrics.slowlog);
+        fields.push(format!("uptime_s={}", self.started.elapsed().as_secs()));
+        fields.push(format!(
+            "inflight_requests={}",
+            self.metrics.inflight().get()
+        ));
+        fields.push(format!("traces_recorded={}", self.tracer.recorded()));
+        fields.push(format!("trace_ring_len={}", self.tracer.ring_len()));
+        fields.push(format!("slowlog_len={}", self.tracer.slowlog_len()));
         format!("OK\tSTATS\t{}", fields.join("\t"))
     }
 }
@@ -404,11 +510,43 @@ impl Server {
             },
         )
         .with_dataset_cache(Arc::clone(&datasets));
+        let queries = Arc::new(QueryCache::new(config.query_cache_entries));
+        let tracer = Arc::new(obs::Tracer::new(obs::TraceConfig {
+            sample_every: config.trace_sample,
+            slow_us: config.slow_ms.saturating_mul(1000),
+            ..obs::TraceConfig::default()
+        }));
+        // One registry per server: every layer registers its instruments or
+        // snapshot collectors here, and the `METRICS` verb renders it.
+        let registry = Arc::new(obs::Registry::new());
+        let metrics = ServerMetrics::new(&registry);
+        explorer.register_metrics(&registry);
+        datasets.register_metrics(&registry);
+        queries.register_metrics(&registry);
+        let started = Instant::now();
+        registry.gauge_fn(
+            "vdx_uptime_seconds",
+            "Seconds since the server started.",
+            &[],
+            move || started.elapsed().as_secs_f64(),
+        );
+        {
+            let tracer = Arc::clone(&tracer);
+            registry.counter_fn(
+                "vdx_traces_recorded_total",
+                "Request traces recorded by the sampler.",
+                &[],
+                move || tracer.recorded(),
+            );
+        }
         let state = Arc::new(ServerState {
             explorer,
             datasets,
-            queries: QueryCache::new(config.query_cache_entries),
-            metrics: ServerMetrics::default(),
+            queries,
+            metrics,
+            registry,
+            tracer,
+            started,
             addr: listener.local_addr()?,
             shutdown: AtomicBool::new(false),
         });
@@ -569,6 +707,16 @@ mod tests {
             stats.contains("store_hits=0"),
             "store fields always present"
         );
+        let (metrics, _) = state.handle_line("METRICS");
+        assert!(metrics.starts_with("OK\tMETRICS\t"), "{metrics}");
+        assert!(
+            metrics.contains("vdx_requests_total{op=\"select\"} 1"),
+            "{metrics}"
+        );
+        let (trace, _) = state.handle_line("TRACE\tLAST");
+        assert!(trace.starts_with("OK\tTRACE\t"), "{trace}");
+        let (slowlog, _) = state.handle_line("SLOWLOG");
+        assert!(slowlog.starts_with("OK\tSLOWLOG\t"), "{slowlog}");
         assert!(
             state.handle_line("SAVE").0.starts_with("ERR\t"),
             "SAVE without --store-dir is a typed protocol error"
@@ -580,6 +728,71 @@ mod tests {
             .0
             .starts_with("ERR\t"));
         assert!(state.handle_line("SELECT\t5\tpx >").0.starts_with("ERR\t"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cold_select_trace_walks_every_stage() {
+        let (server, dir) = test_server("trace");
+        let handle = server.handle();
+        let state = handle.state();
+        let (select, _) = state.handle_line("SELECT\t4\tpx > 0 && y > 0");
+        assert!(select.starts_with("OK\tSELECT\t"), "{select}");
+        let trace = state.tracer().last().expect("default sampling traces all");
+        assert_eq!(trace.verb, "SELECT");
+        for stage in [
+            "request",
+            "parse",
+            "query_cache",
+            "dataset_cache",
+            "plan",
+            "compile",
+            "evaluate",
+            "serialize",
+        ] {
+            assert!(
+                trace.span(stage).is_some(),
+                "missing stage {stage} in {}",
+                trace.render_line()
+            );
+        }
+        assert!(trace.total_us > 0, "{}", trace.render_line());
+        assert_eq!(trace.span("query_cache").unwrap().counts, vec![("hit", 0)]);
+
+        // A warm replay hits the query cache and loses the evaluate stage.
+        let (_, _) = state.handle_line("SELECT\t4\tpx > 0 && y > 0");
+        let warm = state.tracer().last().unwrap();
+        assert_eq!(warm.span("query_cache").unwrap().counts, vec![("hit", 1)]);
+        assert!(warm.span("evaluate").is_none(), "{}", warm.render_line());
+
+        // TRACE LAST over the wire renders the previously finished request.
+        let (reply, _) = state.handle_line("TRACE\tLAST");
+        assert!(reply.starts_with("OK\tTRACE\t"), "{reply}");
+        assert!(reply.contains("query_cache"), "{reply}");
+        let (by_id, _) = state.handle_line(&format!("TRACE\t{}", trace.id));
+        assert!(by_id.contains("evaluate"), "{by_id}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_sample_zero_disables_tracing() {
+        let (catalog, dir) = tiny_catalog("notrace");
+        let server = Server::bind(
+            catalog,
+            "127.0.0.1:0",
+            ServerConfig {
+                trace_sample: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let handle = server.handle();
+        let state = handle.state();
+        let (select, _) = state.handle_line("SELECT\t5\tpx > 0");
+        assert!(select.starts_with("OK\tSELECT\t"), "{select}");
+        assert_eq!(state.tracer().recorded(), 0);
+        let (reply, _) = state.handle_line("TRACE\tLAST");
+        assert!(reply.starts_with("ERR\t"), "{reply}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

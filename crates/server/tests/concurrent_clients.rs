@@ -178,6 +178,14 @@ fn concurrent_clients_get_exact_results_and_caches_behave() {
         }
     });
 
+    // Every in-flight request has drained with its client, so the gauge is
+    // back to zero (handle_line pairs inc/dec even on the error path).
+    assert_eq!(
+        handle.state().metrics().inflight().get(),
+        0,
+        "inflight_requests gauge did not return to zero after the workload"
+    );
+
     // (b) dataset cache: hits occurred, and the resident footprint never
     // exceeded the budget at any point (peak watermark).
     let ds = handle.state().dataset_cache().stats();

@@ -31,6 +31,9 @@ fn verb_of(request: &Request) -> &'static str {
         Request::Track { .. } => "TRACK",
         Request::Save => "SAVE",
         Request::Warm => "WARM",
+        Request::Metrics => "METRICS",
+        Request::Trace { .. } => "TRACE",
+        Request::SlowLog { .. } => "SLOWLOG",
         Request::Quit => "QUIT",
         Request::Shutdown => "SHUTDOWN",
     }
@@ -60,6 +63,9 @@ fn all_requests() -> Vec<Request> {
         Request::Track { ids: vec![1] },
         Request::Save,
         Request::Warm,
+        Request::Metrics,
+        Request::Trace { id: None },
+        Request::SlowLog { limit: 16 },
         Request::Quit,
         Request::Shutdown,
     ]
@@ -104,7 +110,10 @@ fn every_stats_field_is_documented() {
     let (stats, _) = state.handle_line("STATS");
     assert!(stats.starts_with("OK\tSTATS\t"), "{stats}");
 
-    const OPS: [&str; 5] = ["select", "refine", "hist", "track", "meta"];
+    const OPS: [&str; 13] = [
+        "select", "refine", "hist", "track", "meta", "ping", "info", "stats", "save", "warm",
+        "metrics", "trace", "slowlog",
+    ];
     let fields = parse_stats(&stats);
     assert!(!fields.is_empty());
     for key in fields.keys() {
@@ -121,5 +130,55 @@ fn every_stats_field_is_documented() {
             "STATS field '{key}' is not documented in docs/PROTOCOL.md"
         );
     }
+
+    // The other direction for the newer surfaces: every field the docs
+    // promise must actually be emitted by a real reply.
+    for promised in [
+        "uptime_s",
+        "inflight_requests",
+        "traces_recorded",
+        "trace_ring_len",
+        "slowlog_len",
+        "evaluations",
+    ] {
+        assert!(
+            fields.contains_key(promised),
+            "documented STATS field '{promised}' missing from a real reply"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn every_metric_family_is_documented() {
+    const OBSERVABILITY_DOC: &str = include_str!("../../../docs/OBSERVABILITY.md");
+    let dir = std::env::temp_dir().join(format!("vdx_metrics_doc_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).unwrap();
+    let mut config = SimConfig::tiny();
+    config.particles_per_step = 100;
+    config.num_timesteps = 2;
+    Simulation::new(config)
+        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 8 }))
+        .unwrap();
+    let server = Server::bind(Arc::new(catalog), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let state = handle.state();
+    state.handle_line("SELECT\t0\tpx > 0");
+    let (metrics, _) = state.handle_line("METRICS");
+    assert!(metrics.starts_with("OK\tMETRICS\t"), "{metrics}");
+    let mut families = 0;
+    for line in metrics.lines().skip(1) {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        let family = rest.split(' ').next().unwrap();
+        families += 1;
+        assert!(
+            OBSERVABILITY_DOC.contains(&format!("`{family}`")),
+            "metric family '{family}' is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+    assert!(families >= 10, "a real registry exposes many families");
     std::fs::remove_dir_all(&dir).ok();
 }

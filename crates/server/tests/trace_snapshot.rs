@@ -1,0 +1,126 @@
+//! Traces are useful only if they are *right*: a cold `SELECT` must walk
+//! every pipeline stage with plausible timings, and replaying the same
+//! request against the same warm state must produce the same span skeleton
+//! ([`obs::Trace::structure`]) every time — timings vary, structure never.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use datastore::Catalog;
+use histogram::Binning;
+use lwfa::{SimConfig, Simulation};
+use vdx_server::{Server, ServerConfig};
+
+fn fixture(tag: &str) -> (Arc<Catalog>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("vdx_trace_snap_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).unwrap();
+    let mut config = SimConfig::tiny();
+    config.particles_per_step = 400;
+    config.num_timesteps = 3;
+    Simulation::new(config)
+        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 16 }))
+        .unwrap();
+    (Arc::new(catalog), dir)
+}
+
+#[test]
+fn cold_select_trace_times_every_stage() {
+    let (catalog, dir) = fixture("stages");
+    let server = Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let state = handle.state();
+
+    let (reply, _) = state.handle_line("SELECT\t0\tpx > 0 && y > -1e30");
+    assert!(reply.starts_with("OK\tSELECT\t"), "{reply}");
+
+    let trace = state.tracer().last().expect("cold SELECT was sampled");
+    assert_eq!(trace.verb, "SELECT");
+    for stage in [
+        "request",
+        "parse",
+        "query_cache",
+        "plan",
+        "dataset_cache",
+        "evaluate",
+        "serialize",
+    ] {
+        assert!(
+            trace.span(stage).is_some(),
+            "stage '{stage}' missing from cold SELECT trace: {}",
+            trace.render_line()
+        );
+    }
+    // The root span is the request and covers everything beneath it.
+    assert_eq!(trace.spans[0].name, "request");
+    assert!(trace.total_us > 0, "a real request takes measurable time");
+    let request_us = trace.spans[0].elapsed_us;
+    assert!(request_us > 0);
+    assert!(request_us <= trace.total_us);
+    for span in &trace.spans[1..] {
+        assert!(
+            span.elapsed_us <= request_us,
+            "child span '{}' ({}us) outlived the request ({request_us}us)",
+            span.name,
+            span.elapsed_us
+        );
+    }
+    // Evaluation dominates a cold request far more often than not, but the
+    // portable claim is just: it did real, timed work over 400 rows.
+    let evaluate = trace.span("evaluate").unwrap();
+    assert!(
+        evaluate.elapsed_us > 0,
+        "evaluate did index/scan work over 400 rows: {}",
+        trace.render_line()
+    );
+    // The cold query-cache probe recorded its miss.
+    let qc = trace.span("query_cache").unwrap();
+    assert_eq!(qc.counts, vec![("hit", 0)]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_replays_share_one_deterministic_structure() {
+    let (catalog, dir) = fixture("replay");
+    let server = Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let state = handle.state();
+
+    let request = "HIST\t1\tpx\t16\ty > 0";
+    // Replay 1 is the cold outlier: it misses every cache and flips the
+    // plan/query-cache state. Replays 2.. hit the query cache identically.
+    let mut structures = Vec::new();
+    let mut replies = Vec::new();
+    for _ in 0..4 {
+        let (reply, _) = state.handle_line(request);
+        assert!(reply.starts_with("OK\tHIST\t"), "{reply}");
+        replies.push(reply);
+        structures.push(state.tracer().last().unwrap().structure());
+    }
+    assert!(replies.windows(2).all(|w| w[0] == w[1]));
+    assert_ne!(
+        structures[0], structures[1],
+        "the cold replay must differ (it evaluated; the warm ones memo-hit)"
+    );
+    assert_eq!(
+        structures[1], structures[2],
+        "warm replays must share one span skeleton"
+    );
+    assert_eq!(structures[2], structures[3]);
+    assert!(
+        structures[1].contains("query_cache _ hit=1"),
+        "warm skeleton records the memo hit: {}",
+        structures[1]
+    );
+    assert!(
+        !structures[1].contains("evaluate"),
+        "a memo hit must not evaluate: {}",
+        structures[1]
+    );
+
+    // Every sampled request landed in the ring and is retrievable by id.
+    let last = state.tracer().last().unwrap();
+    let by_id = state.tracer().get(last.id).unwrap();
+    assert_eq!(by_id.structure(), last.structure());
+    std::fs::remove_dir_all(&dir).ok();
+}
