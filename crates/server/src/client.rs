@@ -1,10 +1,15 @@
 //! A small blocking client for the line protocol.
 //!
 //! Used by the `vdx-server query` CLI mode, the CI smoke driver and the
-//! integration tests. One request line in, one reply line out.
+//! integration tests. One request line in, one reply line out. Reply lines
+//! are read through the shared capped framing layer
+//! ([`crate::framing::MAX_REPLY_LINE_BYTES`]) so a misbehaving server
+//! cannot grow client memory without bound.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::framing::{self, LineRead};
 
 /// A connected protocol client.
 #[derive(Debug)]
@@ -24,22 +29,29 @@ impl Client {
         })
     }
 
+    /// Read one reply line under the reply-size cap.
+    fn read_reply_line(&mut self) -> std::io::Result<String> {
+        match framing::read_line_capped(&mut self.reader, framing::MAX_REPLY_LINE_BYTES)? {
+            LineRead::Line(line) => Ok(line),
+            LineRead::TooLong => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "reply line exceeded {} bytes",
+                    framing::MAX_REPLY_LINE_BYTES
+                ),
+            )),
+            LineRead::Eof => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+
     /// Send one request line and read the single reply line.
     pub fn request(&mut self, line: &str) -> std::io::Result<String> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
-        }
-        while reply.ends_with(['\n', '\r']) {
-            reply.pop();
-        }
-        Ok(reply)
+        self.read_reply_line()
     }
 
     /// Parse a `STATS` reply into its `key=value` fields.
@@ -64,16 +76,13 @@ impl Client {
             })?;
         let mut lines = Vec::with_capacity(count);
         for _ in 0..count {
-            let mut line = String::new();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "METRICS body truncated",
-                ));
-            }
-            while line.ends_with(['\n', '\r']) {
-                line.pop();
-            }
+            let line = self.read_reply_line().map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "METRICS body truncated")
+                } else {
+                    e
+                }
+            })?;
             lines.push(line);
         }
         Ok(lines)

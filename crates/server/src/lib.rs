@@ -5,9 +5,14 @@
 //! a long-lived service so many concurrent clients share one resident copy
 //! of the hot data:
 //!
-//! * [`server::Server`] — a `TcpListener` + worker-thread pool answering a
-//!   line-delimited protocol ([`protocol`]) with select / refine / histogram
-//!   / track / info / stats operations and graceful shutdown.
+//! * [`server::Server`] — a `TcpListener` answering a line-delimited
+//!   protocol ([`protocol`]) with select / refine / histogram / track /
+//!   info / stats operations and graceful shutdown, through either
+//!   connection layer ([`server::IoMode`]): the [`event_loop`] reactor
+//!   (default — sockets are multiplexed nonblocking, a connection holds a
+//!   buffer rather than a thread, requests are pipelined under admission
+//!   control) or the historical thread-per-connection pool. Both share the
+//!   capped [`framing`] layer and answer byte-identically.
 //! * [`datastore::DatasetCache`] (layer 1) — sharded, byte-budgeted LRU of
 //!   loaded datasets, so a hot timestep's columns and indexes are read from
 //!   disk once.
@@ -27,13 +32,15 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod event_loop;
+pub mod framing;
 pub mod metrics;
 pub mod protocol;
 pub mod query_cache;
 pub mod server;
 
 pub use client::{parse_stats, Client};
-pub use metrics::{OpMetrics, ServerMetrics};
+pub use metrics::{ConnMetrics, OpMetrics, ServerMetrics};
 pub use protocol::Request;
 pub use query_cache::{QueryCache, QueryCacheStats};
-pub use server::{Server, ServerConfig, ServerHandle, ServerState};
+pub use server::{IoMode, Server, ServerConfig, ServerHandle, ServerState};

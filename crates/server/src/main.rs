@@ -3,13 +3,25 @@
 //!
 //! ```text
 //! vdx-server serve --dir DIR [--addr 127.0.0.1:7878] [--workers N]
-//!                  [--cache-mb MB] [--query-cache N] [--nodes N]
-//!                  [--threads N] [--chunk-rows N] [--index-accel]
-//!                  [--store-dir DIR] [--trace-sample N] [--slow-ms MS]
+//!                  [--io-mode threaded|async] [--cache-mb MB]
+//!                  [--query-cache N] [--nodes N] [--threads N]
+//!                  [--chunk-rows N] [--index-accel] [--store-dir DIR]
+//!                  [--trace-sample N] [--slow-ms MS] [--max-line-bytes N]
+//!                  [--idle-timeout-ms MS] [--write-timeout-ms MS]
+//!                  [--max-pipeline N] [--queue-depth N]
 //! vdx-server query --addr HOST:PORT <verb> [field ...]
-//! vdx-server smoke [--dir DIR] [--store-dir DIR]
+//! vdx-server smoke [--dir DIR] [--store-dir DIR] [--io-mode threaded|async]
 //! vdx-server bench [--clients N] [--rounds N] [--particles N] [--timesteps N]
+//!                  [--io-mode threaded|async]
 //! ```
+//!
+//! `--io-mode` picks the connection layer: `async` (the default) multiplexes
+//! every socket on one reactor thread and dispatches request lines to the
+//! worker pool — a connection holds a buffer, not a thread — while
+//! `threaded` is the historical blocking pool. Replies are byte-identical;
+//! the connection-hardening knobs (`--max-line-bytes`, `--idle-timeout-ms`,
+//! `--write-timeout-ms`, and async-only `--max-pipeline`/`--queue-depth`)
+//! are documented in docs/PROTOCOL.md.
 //!
 //! `--store-dir` attaches the persistent `vdx` segment store: loads check
 //! the store before ingesting raw data, cold loads write their segment back,
@@ -50,6 +62,12 @@ fn server_config(args: &[String]) -> ServerConfig {
     let defaults = ServerConfig::default();
     ServerConfig {
         workers: parsed_flag(args, "--workers", defaults.workers),
+        io_mode: parsed_flag(args, "--io-mode", defaults.io_mode),
+        max_line_bytes: parsed_flag(args, "--max-line-bytes", defaults.max_line_bytes),
+        idle_timeout_ms: parsed_flag(args, "--idle-timeout-ms", defaults.idle_timeout_ms),
+        write_timeout_ms: parsed_flag(args, "--write-timeout-ms", defaults.write_timeout_ms),
+        max_pipeline: parsed_flag(args, "--max-pipeline", defaults.max_pipeline),
+        queue_depth: parsed_flag(args, "--queue-depth", defaults.queue_depth),
         nodes: parsed_flag(args, "--nodes", defaults.nodes),
         threads: parsed_flag(args, "--threads", defaults.threads),
         chunk_rows: parsed_flag(args, "--chunk-rows", defaults.chunk_rows),
@@ -76,10 +94,10 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage: vdx-server <serve|query|smoke|bench> [options]\n\
-                 \x20 serve --dir DIR [--addr A] [--workers N] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--index-accel] [--store-dir DIR] [--trace-sample N] [--slow-ms MS]\n\
+                 \x20 serve --dir DIR [--addr A] [--workers N] [--io-mode threaded|async] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--index-accel] [--store-dir DIR] [--trace-sample N] [--slow-ms MS] [--max-line-bytes N] [--idle-timeout-ms MS] [--write-timeout-ms MS] [--max-pipeline N] [--queue-depth N]\n\
                  \x20 query --addr HOST:PORT <verb> [field ...]\n\
-                 \x20 smoke [--dir DIR] [--store-dir DIR]\n\
-                 \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N]"
+                 \x20 smoke [--dir DIR] [--store-dir DIR] [--io-mode threaded|async]\n\
+                 \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N] [--io-mode threaded|async]"
             );
             return ExitCode::FAILURE;
         }
@@ -216,10 +234,11 @@ fn smoke(args: &[String]) -> Result<(), String> {
     };
     let last = *catalog.steps().last().expect("timesteps exist");
     let threshold = lwfa::physics::suggested_beam_threshold(&sim, last);
-    let server =
-        Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).map_err(|e| e.to_string())?;
+    let config = server_config(args);
+    let io_mode = config.io_mode;
+    let server = Server::bind(catalog, "127.0.0.1:0", config).map_err(|e| e.to_string())?;
     let (handle, join) = server.spawn();
-    println!("smoke: serving on {}", handle.addr());
+    println!("smoke: serving on {} io-mode={io_mode}", handle.addr());
 
     let mut client = Client::connect(handle.addr()).map_err(|e| e.to_string())?;
     let mut script = vec![
@@ -376,7 +395,7 @@ fn bench(args: &[String]) -> Result<(), String> {
     let (catalog, _sim, dir) = scratch_catalog("bench", particles, timesteps)?;
     let steps = catalog.steps();
     let server =
-        Server::bind(catalog, "127.0.0.1:0", ServerConfig::default()).map_err(|e| e.to_string())?;
+        Server::bind(catalog, "127.0.0.1:0", server_config(args)).map_err(|e| e.to_string())?;
     let addr = server.local_addr();
     let (_handle, join) = server.spawn();
 

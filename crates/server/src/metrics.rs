@@ -91,6 +91,121 @@ impl OpMetrics {
     }
 }
 
+/// Connection-layer instruments, shared by both io-modes (threaded and
+/// event-loop). These count *connections and admission decisions*, not
+/// requests — a connection that sends a hundred pipelined requests moves
+/// `accepted` once; a request refused by admission control moves
+/// `busy_rejections` without ever reaching the per-verb [`OpMetrics`].
+#[derive(Debug)]
+pub struct ConnMetrics {
+    accepted: Arc<Counter>,
+    open: Arc<Gauge>,
+    errors: Arc<Counter>,
+    busy_rejections: Arc<Counter>,
+    idle_disconnects: Arc<Counter>,
+    lines_too_long: Arc<Counter>,
+}
+
+impl ConnMetrics {
+    /// Register the connection-layer families in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            accepted: registry.counter(
+                "vdx_connections_accepted_total",
+                "Client connections accepted since startup.",
+                &[],
+            ),
+            open: registry.gauge(
+                "vdx_connections_open",
+                "Client connections currently open.",
+                &[],
+            ),
+            errors: registry.counter(
+                "vdx_connection_errors_total",
+                "Connections torn down abnormally: socket I/O errors, oversized \
+                 request lines, and write-stall evictions.",
+                &[],
+            ),
+            busy_rejections: registry.counter(
+                "vdx_busy_rejections_total",
+                "Requests refused with `ERR busy` because the dispatch queue was full.",
+                &[],
+            ),
+            idle_disconnects: registry.counter(
+                "vdx_idle_disconnects_total",
+                "Connections evicted after exceeding the idle timeout.",
+                &[],
+            ),
+            lines_too_long: registry.counter(
+                "vdx_lines_too_long_total",
+                "Request lines rejected for exceeding the line-length cap.",
+                &[],
+            ),
+        }
+    }
+
+    /// Note an accepted connection (bumps the open gauge too).
+    pub fn note_accepted(&self) {
+        self.accepted.inc();
+        self.open.inc();
+    }
+
+    /// Note a connection leaving, however it ended.
+    pub fn note_closed(&self) {
+        self.open.dec();
+    }
+
+    /// Note an abnormal teardown (I/O error, oversized line, write stall).
+    pub fn note_error(&self) {
+        self.errors.inc();
+    }
+
+    /// Note an admission-control rejection (`ERR busy`).
+    pub fn note_busy_rejection(&self) {
+        self.busy_rejections.inc();
+    }
+
+    /// Note an idle-timeout eviction.
+    pub fn note_idle_disconnect(&self) {
+        self.idle_disconnects.inc();
+    }
+
+    /// Note a request line that exceeded the cap.
+    pub fn note_line_too_long(&self) {
+        self.lines_too_long.inc();
+    }
+
+    /// Connections accepted since startup.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.get()
+    }
+
+    /// Connections currently open.
+    pub fn open(&self) -> i64 {
+        self.open.get()
+    }
+
+    /// Abnormal teardowns since startup.
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// `ERR busy` rejections since startup.
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.get()
+    }
+
+    /// Idle-timeout evictions since startup.
+    pub fn idle_disconnects(&self) -> u64 {
+        self.idle_disconnects.get()
+    }
+
+    /// Oversized request lines since startup.
+    pub fn lines_too_long(&self) -> u64 {
+        self.lines_too_long.get()
+    }
+}
+
 /// All server metrics: one [`OpMetrics`] per protocol operation, the
 /// `meta_*` aggregate, the index-evaluation counter the query cache is
 /// measured against, and the in-flight request gauge.
@@ -275,6 +390,36 @@ mod tests {
             1,
             "one family header for all ops: {text}"
         );
+    }
+
+    #[test]
+    fn conn_metrics_register_all_six_families() {
+        let registry = Registry::new();
+        let c = ConnMetrics::new(&registry);
+        c.note_accepted();
+        c.note_accepted();
+        c.note_closed();
+        c.note_error();
+        c.note_busy_rejection();
+        c.note_idle_disconnect();
+        c.note_line_too_long();
+        assert_eq!(c.accepted(), 2);
+        assert_eq!(c.open(), 1);
+        assert_eq!(c.errors(), 1);
+        assert_eq!(c.busy_rejections(), 1);
+        assert_eq!(c.idle_disconnects(), 1);
+        assert_eq!(c.lines_too_long(), 1);
+        let text = registry.render();
+        for needle in [
+            "vdx_connections_accepted_total 2",
+            "vdx_connections_open 1",
+            "vdx_connection_errors_total 1",
+            "vdx_busy_rejections_total 1",
+            "vdx_idle_disconnects_total 1",
+            "vdx_lines_too_long_total 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 
     #[test]

@@ -1,10 +1,23 @@
 //! The concurrent TCP query server.
 //!
-//! A `std::net::TcpListener` accept loop hands connections to a fixed pool
-//! of worker threads over an `mpsc` channel (no async runtime — the workload
-//! is index evaluation, not I/O multiplexing, so a thread per in-flight
-//! connection is the simplest correct model). Every worker serves its
-//! connection line-by-line against shared state:
+//! Two interchangeable connection layers serve the same protocol against
+//! the same shared state (selected by [`ServerConfig::io_mode`], replies
+//! byte-identical by construction because both call
+//! [`ServerState::handle_line`]):
+//!
+//! * **async** (the default) — a readiness event loop ([`crate::event_loop`])
+//!   in which one reactor thread owns every socket nonblocking; a connection
+//!   holds a buffer, not a thread, so thousands of idle clients cost no
+//!   workers and a fresh request is dispatched to the worker pool the moment
+//!   its line arrives. Pipelining, admission control (`ERR busy`), idle and
+//!   write-stall timeouts live here.
+//! * **threaded** — the historical model: the accept loop hands each
+//!   connection to a fixed pool of worker threads over an `mpsc` channel,
+//!   and a worker blocks on its connection until the client leaves. Simple,
+//!   but `W` idle clients starve the `W`-thread pool.
+//!
+//! Both layers share [`crate::framing`] (capped line framing) and the
+//! request lines they deliver run against shared state:
 //!
 //! * an `Arc<Catalog>` (the timestep directory),
 //! * a [`DatasetCache`] keeping hot timesteps (columns + WAH indexes)
@@ -21,7 +34,7 @@
 //! flips a flag and unblocks the accept loop; workers finish the
 //! connections they hold and the run loop joins them before returning.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -32,15 +45,78 @@ use fastbit::{parse_query, HistEngine};
 use parking_lot::Mutex;
 use vdx_core::{DataExplorer, ExplorerConfig};
 
-use crate::metrics::ServerMetrics;
+use crate::framing::{self, LineRead};
+use crate::metrics::{ConnMetrics, ServerMetrics};
 use crate::protocol::{self, Request};
 use crate::query_cache::QueryCache;
+
+/// Which connection layer a [`Server`] runs (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// One worker thread blocks per in-flight connection.
+    Threaded,
+    /// A reactor thread multiplexes every connection nonblocking and
+    /// dispatches complete request lines to the worker pool.
+    Async,
+}
+
+impl IoMode {
+    /// The wire/CLI spelling (`threaded` / `async`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoMode::Threaded => "threaded",
+            IoMode::Async => "async",
+        }
+    }
+}
+
+impl std::fmt::Display for IoMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for IoMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "threaded" => Ok(IoMode::Threaded),
+            "async" => Ok(IoMode::Async),
+            other => Err(format!("unknown io mode `{other}` (threaded|async)")),
+        }
+    }
+}
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads serving connections (at least 1).
     pub workers: usize,
+    /// The connection layer: [`IoMode::Async`] (event loop, default) or
+    /// [`IoMode::Threaded`] (thread per in-flight connection).
+    pub io_mode: IoMode,
+    /// Hard cap on one request line in bytes (newline excluded). An
+    /// oversized line is answered with `ERR line too long …` and the
+    /// connection closes.
+    pub max_line_bytes: usize,
+    /// Close connections idle longer than this (milliseconds) with a typed
+    /// `ERR idle timeout …` reply; `0` disables the idle timeout.
+    pub idle_timeout_ms: u64,
+    /// Close connections whose peer accepts no reply bytes for this long
+    /// (milliseconds); `0` disables the write-stall timeout.
+    pub write_timeout_ms: u64,
+    /// Pipelining depth: complete request lines buffered per connection
+    /// before the reactor pauses reading from it (async mode; at least 1).
+    pub max_pipeline: usize,
+    /// Admission control: requests dispatched-but-unfinished across all
+    /// connections before new ones are refused with `ERR busy` (async mode;
+    /// at least 1).
+    pub queue_depth: usize,
+    /// Hard cap on one connection's buffered unsent reply bytes; a peer
+    /// that reads slower than it queries is disconnected at this point
+    /// (async mode).
+    pub write_buf_limit: usize,
     /// Parallel "nodes" used by catalog-wide tracking requests.
     pub nodes: usize,
     /// Worker threads used *within* one SELECT/REFINE/HIST evaluation by the
@@ -70,6 +146,13 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            io_mode: IoMode::Async,
+            max_line_bytes: framing::MAX_REQUEST_LINE_BYTES,
+            idle_timeout_ms: 300_000,
+            write_timeout_ms: 30_000,
+            max_pipeline: 128,
+            queue_depth: 1024,
+            write_buf_limit: 64 << 20,
             nodes: 2,
             threads: 1,
             chunk_rows: fastbit::par::DEFAULT_CHUNK_ROWS,
@@ -95,6 +178,8 @@ pub struct ServerState {
     datasets: Arc<DatasetCache>,
     queries: Arc<QueryCache>,
     metrics: ServerMetrics,
+    conn: ConnMetrics,
+    io_mode: IoMode,
     registry: Arc<obs::Registry>,
     tracer: Arc<obs::Tracer>,
     started: Instant,
@@ -116,6 +201,21 @@ impl ServerState {
     /// The per-verb server metrics.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The connection-layer metrics (accepted/open/errors/admission).
+    pub fn conn_metrics(&self) -> &ConnMetrics {
+        &self.conn
+    }
+
+    /// The connection layer this server runs.
+    pub fn io_mode(&self) -> IoMode {
+        self.io_mode
+    }
+
+    /// True once a graceful shutdown has been requested.
+    pub(crate) fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 
     /// The metrics registry every layer reports into (rendered by the
@@ -445,6 +545,13 @@ impl ServerState {
         ServerMetrics::append_op_fields(&mut fields, "metrics", &self.metrics.metrics);
         ServerMetrics::append_op_fields(&mut fields, "trace", &self.metrics.trace);
         ServerMetrics::append_op_fields(&mut fields, "slowlog", &self.metrics.slowlog);
+        fields.push(format!("io_mode={}", self.io_mode));
+        fields.push(format!("connections_accepted={}", self.conn.accepted()));
+        fields.push(format!("connections_open={}", self.conn.open()));
+        fields.push(format!("connection_errors={}", self.conn.errors()));
+        fields.push(format!("busy_rejections={}", self.conn.busy_rejections()));
+        fields.push(format!("idle_disconnects={}", self.conn.idle_disconnects()));
+        fields.push(format!("lines_too_long={}", self.conn.lines_too_long()));
         fields.push(format!("uptime_s={}", self.started.elapsed().as_secs()));
         fields.push(format!(
             "inflight_requests={}",
@@ -485,7 +592,7 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
-    workers: usize,
+    config: ServerConfig,
 }
 
 impl Server {
@@ -520,6 +627,7 @@ impl Server {
         // snapshot collectors here, and the `METRICS` verb renders it.
         let registry = Arc::new(obs::Registry::new());
         let metrics = ServerMetrics::new(&registry);
+        let conn = ConnMetrics::new(&registry);
         explorer.register_metrics(&registry);
         datasets.register_metrics(&registry);
         queries.register_metrics(&registry);
@@ -544,6 +652,8 @@ impl Server {
             datasets,
             queries,
             metrics,
+            conn,
+            io_mode: config.io_mode,
             registry,
             tracer,
             started,
@@ -553,7 +663,7 @@ impl Server {
         Ok(Server {
             listener,
             state,
-            workers: config.workers.max(1),
+            config,
         })
     }
 
@@ -571,18 +681,28 @@ impl Server {
 
     /// Serve until shutdown is requested, then drain workers and return.
     pub fn run(self) -> std::io::Result<()> {
+        match self.config.io_mode {
+            IoMode::Threaded => self.run_threaded(),
+            IoMode::Async => crate::event_loop::run(self.listener, self.state, &self.config),
+        }
+    }
+
+    /// The historical connection layer: a fixed worker pool, one blocked
+    /// worker per in-flight connection.
+    fn run_threaded(self) -> std::io::Result<()> {
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
-        let workers: Vec<_> = (0..self.workers)
+        let workers: Vec<_> = (0..self.config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let state = Arc::clone(&self.state);
+                let config = self.config.clone();
                 std::thread::spawn(move || loop {
                     // Take the next connection, releasing the lock before
                     // serving it so other workers keep draining the queue.
                     let next = rx.lock().recv();
                     match next {
-                        Ok(stream) => serve_connection(&state, stream),
+                        Ok(stream) => serve_connection(&state, stream, &config),
                         Err(_) => break,
                     }
                 })
@@ -618,32 +738,67 @@ impl Server {
     }
 }
 
-/// Serve one client connection line-by-line until QUIT, EOF or an I/O error.
-fn serve_connection(state: &ServerState, stream: TcpStream) {
-    let reader = match stream.try_clone() {
+/// Serve one client connection line-by-line until QUIT, EOF, an oversized
+/// line, the idle timeout, or an I/O error — the threaded-mode twin of the
+/// event loop's per-connection state machine, sharing its framing, its
+/// typed `ERR` teardown replies, and its [`ConnMetrics`] accounting.
+fn serve_connection(state: &ServerState, stream: TcpStream, config: &ServerConfig) {
+    let conn = state.conn_metrics();
+    conn.note_accepted();
+    let timeout = |ms: u64| (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    let _ = stream.set_read_timeout(timeout(config.idle_timeout_ms));
+    let _ = stream.set_write_timeout(timeout(config.write_timeout_ms));
+    let mut reader = match stream.try_clone() {
         Ok(clone) => BufReader::new(clone),
-        Err(_) => return,
+        Err(_) => {
+            conn.note_error();
+            conn.note_closed();
+            return;
+        }
     };
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(_) => break,
-        };
-        if line.is_empty() {
-            continue;
-        }
-        let (reply, close) = state.handle_line(&line);
-        if writeln!(writer, "{reply}")
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
-        }
-        if close {
-            break;
+    loop {
+        match framing::read_line_capped(&mut reader, config.max_line_bytes) {
+            Ok(LineRead::Eof) => break,
+            Ok(LineRead::TooLong) => {
+                conn.note_line_too_long();
+                conn.note_error();
+                let reply = framing::line_too_long_reply(config.max_line_bytes);
+                let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+                break;
+            }
+            Ok(LineRead::Line(line)) => {
+                if line.is_empty() {
+                    continue;
+                }
+                let (reply, close) = state.handle_line(&line);
+                if writeln!(writer, "{reply}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    conn.note_error();
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                conn.note_idle_disconnect();
+                let reply = framing::idle_timeout_reply(config.idle_timeout_ms);
+                let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
+                break;
+            }
+            Err(_) => {
+                conn.note_error();
+                break;
+            }
         }
     }
+    conn.note_closed();
 }
 
 #[cfg(test)]

@@ -1,0 +1,210 @@
+//! The byte-identity pin between the two connection layers: the same
+//! request bytes sent to a threaded-mode server and an async-mode server
+//! over the same catalog must produce the same reply bytes, reply for
+//! reply — including hostile input, invalid UTF-8, empty lines, an EOF
+//! mid-line, and pipelined requests behind a `QUIT`. Both layers funnel
+//! into `ServerState::handle_line` and the shared framing module; this
+//! suite is what keeps anyone from quietly forking the semantics.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use datastore::Catalog;
+use histogram::Binning;
+use lwfa::{SimConfig, Simulation};
+use vdx_server::{IoMode, Server, ServerConfig, ServerHandle};
+
+fn fixture(tag: &str) -> (Arc<Catalog>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("vdx_io_diff_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).unwrap();
+    let mut config = SimConfig::tiny();
+    config.particles_per_step = 300;
+    config.num_timesteps = 3;
+    Simulation::new(config)
+        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 8 }))
+        .unwrap();
+    (Arc::new(catalog), dir)
+}
+
+/// Spawn one server of each io-mode over one shared catalog.
+fn both_modes(
+    catalog: &Arc<Catalog>,
+) -> Vec<(
+    IoMode,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+)> {
+    [IoMode::Threaded, IoMode::Async]
+        .into_iter()
+        .map(|io_mode| {
+            let server = Server::bind(
+                Arc::clone(catalog),
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 2,
+                    io_mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let (handle, join) = server.spawn();
+            (io_mode, handle, join)
+        })
+        .collect()
+}
+
+fn connect_raw(handle: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+}
+
+/// Write raw bytes, half-close the write side, and read everything the
+/// server says until it closes — the whole conversation as one byte blob.
+fn converse(handle: &ServerHandle, request_bytes: &[u8]) -> Vec<u8> {
+    let mut stream = connect_raw(handle);
+    stream.write_all(request_bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap();
+    reply
+}
+
+/// The deterministic request catalog: every reply here depends only on the
+/// request and the catalog, never on timing or prior traffic (so `STATS`,
+/// `METRICS`, `TRACE` and cache-order-sensitive forms are exercised
+/// elsewhere; this suite is about reply *bytes*).
+fn deterministic_lines() -> Vec<Vec<u8>> {
+    let mut lines: Vec<Vec<u8>> = [
+        "PING",
+        "INFO",
+        "SELECT\t0\tpx > 0",
+        "SELECT\t1\tpx > 0 && y > 0",
+        "SELECT\t2\tpx > 1e30", // empty result
+        "SELECT\t99\tpx > 0",   // ERR: no such step
+        "HIST\t0\tpx\t8",
+        "HIST\t1\ty\t4\tpx > 0",
+        "HIST\t0\tnope\t8", // ERR: no such column
+        "REFINE\t0\t1,2,3\tpx > 0",
+        "TRACK\t1,2",
+        "SELECT",                 // ERR: missing args
+        "SELECT\tzero\tpx > 0",   // ERR: bad step
+        "HIST\t0\tpx\tmany",      // ERR: bad bins
+        "NOSUCHVERB\targ",        // ERR: unknown verb
+        "select\t0\tpx > 0",      // ERR: verbs are case-sensitive
+        "SELECT\t0\tpx >",        // ERR: truncated expression
+        "SELECT\t0\t(px > 0",     // ERR: unbalanced paren
+        "SELECT\t0\tpx <>\t0",    // ERR: stray tab in expression
+        "TRACK\tnot,numbers",     // ERR: bad id list
+        "\tleading\ttab",         // ERR: empty verb
+        "PING\textra\targuments", // PING ignores or rejects — either way, pinned
+    ]
+    .into_iter()
+    .map(|s| s.as_bytes().to_vec())
+    .collect();
+    // Invalid UTF-8 inside an expression: both layers decode lossily, so
+    // the parse error must come back identical.
+    lines.push(b"SELECT\t0\tpx > \xff\xfe".to_vec());
+    // Invalid UTF-8 inside the verb itself.
+    lines.push(b"PI\xf0NG".to_vec());
+    lines
+}
+
+/// Line-by-line request/reply lockstep: each deterministic request gets
+/// byte-identical replies from the two modes, on one long-lived
+/// connection each.
+#[test]
+fn deterministic_requests_reply_byte_identical_across_modes() {
+    let (catalog, dir) = fixture("lockstep");
+    let servers = both_modes(&catalog);
+    let lines = deterministic_lines();
+
+    let mut transcripts: Vec<(IoMode, Vec<String>)> = Vec::new();
+    for (io_mode, handle, _) in &servers {
+        let stream = connect_raw(handle);
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut replies = Vec::new();
+        for line in &lines {
+            writer.write_all(line).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            assert!(reply.ends_with('\n'), "[{io_mode}] unterminated reply");
+            replies.push(reply);
+        }
+        transcripts.push((*io_mode, replies));
+    }
+
+    let (_, threaded) = &transcripts[0];
+    let (_, asynch) = &transcripts[1];
+    for ((line, t), a) in lines.iter().zip(threaded).zip(asynch) {
+        assert_eq!(
+            t,
+            a,
+            "modes diverged on request {:?}",
+            String::from_utf8_lossy(line)
+        );
+    }
+
+    for (_, handle, join) in servers {
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Whole-conversation transcripts: tricky framings sent as raw bursts with
+/// a half-close, compared as the full byte blob each server produced —
+/// this pins empty-line skipping, EOF-mid-line handling, and the
+/// QUIT-discards-the-pipeline rule to be mode-identical.
+#[test]
+fn conversation_transcripts_match_across_modes() {
+    let (catalog, dir) = fixture("transcript");
+    let servers = both_modes(&catalog);
+
+    let conversations: Vec<&[u8]> = vec![
+        // Empty lines produce no reply in either mode.
+        b"\n\nPING\n\n\nINFO\n",
+        // EOF mid-line: the unterminated final request is still served.
+        b"PING\nSELECT\t0\tpx > 0",
+        // EOF mid-line on an ERR request.
+        b"NOSUCHVERB",
+        // QUIT discards everything pipelined behind it.
+        b"PING\nQUIT\nSELECT\t0\tpx > 0\nPING\n",
+        // CRLF line endings are accepted and stripped.
+        b"PING\r\nINFO\r\n",
+        // A lone newline conversation: no replies at all, clean close.
+        b"\n",
+        // Pipelined burst of mixed OK/ERR requests.
+        b"SELECT\t0\tpx > 0\nSELECT\t99\tpx > 0\nHIST\t0\tpx\t8\nPING\n",
+    ];
+
+    for bytes in conversations {
+        let mut blobs: Vec<(IoMode, Vec<u8>)> = Vec::new();
+        for (io_mode, handle, _) in &servers {
+            blobs.push((*io_mode, converse(handle, bytes)));
+        }
+        let (_, threaded) = &blobs[0];
+        let (_, asynch) = &blobs[1];
+        assert_eq!(
+            String::from_utf8_lossy(threaded),
+            String::from_utf8_lossy(asynch),
+            "transcripts diverged for conversation {:?}",
+            String::from_utf8_lossy(bytes)
+        );
+    }
+
+    for (_, handle, join) in servers {
+        handle.shutdown();
+        join.join().unwrap().unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use datastore::Catalog;
 use histogram::Binning;
 use lwfa::{SimConfig, Simulation};
-use vdx_server::{parse_stats, Client, Server, ServerConfig};
+use vdx_server::{parse_stats, Client, IoMode, Server, ServerConfig};
 
 fn fixture(tag: &str) -> (Arc<Catalog>, PathBuf) {
     let dir = std::env::temp_dir().join(format!("vdx_obs_conc_{tag}_{}", std::process::id()));
@@ -58,13 +58,23 @@ fn assert_exposition_line(line: &str) {
 }
 
 #[test]
-fn scrapers_and_queries_coexist_without_tearing() {
-    let (catalog, dir) = fixture("mixed");
+fn scrapers_and_queries_coexist_without_tearing_async() {
+    scrapers_and_queries_coexist_without_tearing(IoMode::Async, "mixed_async");
+}
+
+#[test]
+fn scrapers_and_queries_coexist_without_tearing_threaded() {
+    scrapers_and_queries_coexist_without_tearing(IoMode::Threaded, "mixed_thr");
+}
+
+fn scrapers_and_queries_coexist_without_tearing(io_mode: IoMode, tag: &str) {
+    let (catalog, dir) = fixture(tag);
     let server = Server::bind(
         catalog,
         "127.0.0.1:0",
         ServerConfig {
             workers: 8,
+            io_mode,
             ..Default::default()
         },
     )

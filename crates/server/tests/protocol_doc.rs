@@ -140,6 +140,13 @@ fn every_stats_field_is_documented() {
         "trace_ring_len",
         "slowlog_len",
         "evaluations",
+        "io_mode",
+        "connections_accepted",
+        "connections_open",
+        "connection_errors",
+        "busy_rejections",
+        "idle_disconnects",
+        "lines_too_long",
     ] {
         assert!(
             fields.contains_key(promised),
@@ -167,18 +174,36 @@ fn every_metric_family_is_documented() {
     state.handle_line("SELECT\t0\tpx > 0");
     let (metrics, _) = state.handle_line("METRICS");
     assert!(metrics.starts_with("OK\tMETRICS\t"), "{metrics}");
-    let mut families = 0;
+    let mut families = Vec::new();
     for line in metrics.lines().skip(1) {
         let Some(rest) = line.strip_prefix("# TYPE ") else {
             continue;
         };
         let family = rest.split(' ').next().unwrap();
-        families += 1;
+        families.push(family.to_string());
         assert!(
             OBSERVABILITY_DOC.contains(&format!("`{family}`")),
             "metric family '{family}' is not documented in docs/OBSERVABILITY.md"
         );
     }
-    assert!(families >= 10, "a real registry exposes many families");
+    assert!(
+        families.len() >= 10,
+        "a real registry exposes many families"
+    );
+    // The connection-layer families must exist in both io-modes — the
+    // instruments are registered at bind time, not by the connection layer.
+    for family in [
+        "vdx_connections_accepted_total",
+        "vdx_connections_open",
+        "vdx_connection_errors_total",
+        "vdx_busy_rejections_total",
+        "vdx_idle_disconnects_total",
+        "vdx_lines_too_long_total",
+    ] {
+        assert!(
+            families.iter().any(|f| f == family),
+            "registry is missing the {family} family: {families:?}"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,609 @@
+//! Offline stand-in for the parts of the `polling` crate this workspace
+//! uses: a level-triggered OS readiness poller over raw file descriptors.
+//!
+//! The kernel interface is reached through `extern "C"` declarations of the
+//! libc symbols std already links (`epoll_*` on Linux, `kqueue`/`kevent` on
+//! macOS and the BSDs) — no external crate, no new link dependency. The
+//! surface is deliberately small:
+//!
+//! * [`Poller`] — register/modify/remove interest in a file descriptor
+//!   under a caller-chosen `u64` token, and [`Poller::wait`] for events.
+//! * [`Event`] — one readiness notification: which token, readable and/or
+//!   writable, and whether the kernel flagged an error/hangup.
+//! * [`Waker`] — a nonblocking self-pipe registered like any other fd, so
+//!   another thread can interrupt a blocked [`Poller::wait`].
+//!
+//! Interest is **level-triggered**: as long as a registered fd stays
+//! readable (or writable, when asked), every `wait` reports it again. That
+//! makes the consumer loop simple — read/write until `WouldBlock`, then go
+//! back to waiting — and immune to lost-wakeup bugs of edge triggering.
+
+#![deny(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Readiness interest for one registered file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd becomes readable (or the peer hung up).
+    pub read: bool,
+    /// Wake when the fd becomes writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd is readable — data, EOF, or an error condition to be
+    /// discovered by the next `read` call.
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+}
+
+/// A level-triggered OS readiness poller (epoll or kqueue).
+#[derive(Debug)]
+pub struct Poller {
+    inner: sys::Poller,
+}
+
+impl Poller {
+    /// Create a new poller.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            inner: sys::Poller::new()?,
+        })
+    }
+
+    /// Start watching `fd` under `token` with the given interest.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.register(fd, token, interest)
+    }
+
+    /// Change the interest of an already-registered `fd`.
+    pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.inner.reregister(fd, token, interest)
+    }
+
+    /// Stop watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.inner.deregister(fd)
+    }
+
+    /// Block until at least one event arrives or `timeout` elapses,
+    /// appending events into `events` (cleared first). A `None` timeout
+    /// blocks indefinitely; `Some(Duration::ZERO)` polls. Interrupted
+    /// waits (`EINTR`) return an empty event list rather than an error.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        self.inner.wait(events, timeout)
+    }
+}
+
+/// A cross-thread wakeup handle: a nonblocking self-pipe whose read end is
+/// registered in the poller under a caller-chosen token.
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Create the pipe pair and register its read end under `token`.
+    pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::nonblocking_pipe()?;
+        poller.register(read_fd, token, Interest::READ)?;
+        Ok(Waker { read_fd, write_fd })
+    }
+
+    /// Interrupt a blocked [`Poller::wait`]. Safe to call from any thread;
+    /// a full pipe simply means a wakeup is already pending.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        unsafe {
+            // EAGAIN (pipe full) and EINTR both leave a wakeup pending.
+            let _ = sys::write(self.write_fd, byte.as_ptr(), 1);
+        }
+    }
+
+    /// Drain pending wakeup bytes after the waker token fired, so a
+    /// level-triggered poller stops reporting the pipe readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { sys::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 || (n as usize) < buf.len() {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            let _ = sys::close(self.read_fd);
+            let _ = sys::close(self.write_fd);
+        }
+    }
+}
+
+// Shared raw syscall declarations (libc is already linked by std).
+mod ffi {
+    use std::os::unix::io::RawFd;
+
+    extern "C" {
+        pub fn close(fd: RawFd) -> i32;
+        pub fn read(fd: RawFd, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: RawFd, buf: *const u8, count: usize) -> isize;
+        pub fn pipe(fds: *mut RawFd) -> i32;
+        pub fn fcntl(fd: RawFd, cmd: i32, arg: i32) -> i32;
+    }
+
+    pub const F_GETFL: i32 = 3;
+    pub const F_SETFL: i32 = 4;
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::{ffi, Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    pub use ffi::{close, read, write};
+
+    // `struct epoll_event` is packed on x86-64 only (the kernel ABI).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const O_NONBLOCK: i32 = 0o4000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let mut flags = EPOLLRDHUP;
+            if interest.read {
+                flags |= EPOLLIN;
+            }
+            if interest.write {
+                flags |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events: flags,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, std::ptr::null_mut()) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 1024];
+            let timeout_ms: i32 = match timeout {
+                None => -1,
+                Some(t) => t.as_millis().min(i32::MAX as u128) as i32,
+            };
+            let n =
+                unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in &buf[..n as usize] {
+                let flags = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    // Error/hangup conditions surface as readability so the
+                    // consumer discovers them from the next read() call.
+                    readable: flags & (EPOLLIN | EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: flags & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = ffi::close(self.epfd);
+            }
+        }
+    }
+
+    pub fn nonblocking_pipe() -> io::Result<(RawFd, RawFd)> {
+        super::plain_pipe(O_NONBLOCK)
+    }
+}
+
+#[cfg(any(
+    target_os = "macos",
+    target_os = "ios",
+    target_os = "freebsd",
+    target_os = "netbsd",
+    target_os = "openbsd",
+    target_os = "dragonfly"
+))]
+mod sys {
+    use super::{ffi, Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    pub use ffi::{close, read, write};
+
+    #[repr(C)]
+    struct KEvent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut std::ffi::c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_EOF: u16 = 0x8000;
+    #[cfg(target_os = "macos")]
+    const O_NONBLOCK: i32 = 0x0004;
+    #[cfg(not(target_os = "macos"))]
+    const O_NONBLOCK: i32 = 0o4000;
+
+    extern "C" {
+        fn kqueue() -> i32;
+        fn kevent(
+            kq: i32,
+            changelist: *const KEvent,
+            nchanges: i32,
+            eventlist: *mut KEvent,
+            nevents: i32,
+            timeout: *const Timespec,
+        ) -> i32;
+    }
+
+    #[derive(Debug)]
+    pub struct Poller {
+        kq: RawFd,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { kq })
+        }
+
+        fn change(&self, fd: RawFd, filter: i16, flags: u16, token: u64) -> io::Result<()> {
+            let change = KEvent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: token as *mut std::ffi::c_void,
+            };
+            let rc = unsafe {
+                kevent(
+                    self.kq,
+                    &change,
+                    1,
+                    std::ptr::null_mut(),
+                    0,
+                    std::ptr::null(),
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                // Deleting a filter that was never added is not an error for
+                // this level of abstraction.
+                if flags & EV_DELETE != 0 && err.raw_os_error() == Some(2) {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            Ok(())
+        }
+
+        fn apply(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if interest.read {
+                self.change(fd, EVFILT_READ, EV_ADD, token)?;
+            } else {
+                self.change(fd, EVFILT_READ, EV_DELETE, token)?;
+            }
+            if interest.write {
+                self.change(fd, EVFILT_WRITE, EV_ADD, token)?;
+            } else {
+                self.change(fd, EVFILT_WRITE, EV_DELETE, token)?;
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.apply(fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.change(fd, EVFILT_READ, EV_DELETE, 0)?;
+            self.change(fd, EVFILT_WRITE, EV_DELETE, 0)?;
+            Ok(())
+        }
+
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            let mut buf: Vec<KEvent> = Vec::with_capacity(1024);
+            let ts;
+            let ts_ptr = match timeout {
+                None => std::ptr::null(),
+                Some(t) => {
+                    ts = Timespec {
+                        tv_sec: t.as_secs().min(i64::MAX as u64) as i64,
+                        tv_nsec: t.subsec_nanos() as i64,
+                    };
+                    &ts as *const Timespec
+                }
+            };
+            let n = unsafe {
+                kevent(
+                    self.kq,
+                    std::ptr::null(),
+                    0,
+                    buf.as_mut_ptr(),
+                    buf.capacity() as i32,
+                    ts_ptr,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            unsafe { buf.set_len(n as usize) };
+            for ev in &buf {
+                let eof = ev.flags & EV_EOF != 0;
+                out.push(Event {
+                    token: ev.udata as u64,
+                    readable: ev.filter == EVFILT_READ || eof,
+                    writable: ev.filter == EVFILT_WRITE,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                let _ = ffi::close(self.kq);
+            }
+        }
+    }
+
+    pub fn nonblocking_pipe() -> io::Result<(RawFd, RawFd)> {
+        super::plain_pipe(O_NONBLOCK)
+    }
+}
+
+/// `pipe(2)` with both ends switched to nonblocking via `fcntl`.
+fn plain_pipe(o_nonblock: i32) -> io::Result<(RawFd, RawFd)> {
+    let mut fds: [RawFd; 2] = [0; 2];
+    if unsafe { ffi::pipe(fds.as_mut_ptr()) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    for fd in fds {
+        let flags = unsafe { ffi::fcntl(fd, ffi::F_GETFL, 0) };
+        if flags < 0 || unsafe { ffi::fcntl(fd, ffi::F_SETFL, flags | o_nonblock) } < 0 {
+            let err = io::Error::last_os_error();
+            unsafe {
+                let _ = ffi::close(fds[0]);
+                let _ = ffi::close(fds[1]);
+            }
+            return Err(err);
+        }
+    }
+    Ok((fds[0], fds[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn poller_reports_readability_level_triggered() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+        let mut events = Vec::new();
+
+        // Nothing to read yet: a short wait times out empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "spurious events: {events:?}");
+
+        client.write_all(b"hello").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Level-triggered: unread data keeps reporting.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Drain, then the fd goes quiet again.
+        let mut server = server;
+        let mut buf = [0u8; 16];
+        let n = server.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "drained fd still readable: {events:?}");
+    }
+
+    #[test]
+    fn interest_changes_gate_writability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller
+            .register(server.as_raw_fd(), 1, Interest::READ)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(
+            !events.iter().any(|e| e.token == 1 && e.writable),
+            "write events without write interest: {events:?}"
+        );
+
+        // An idle socket's send buffer is empty, so write interest fires
+        // immediately under level triggering.
+        poller
+            .reregister(server.as_raw_fd(), 1, Interest::BOTH)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+        poller.deregister(server.as_raw_fd()).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "deregistered fd fired: {events:?}");
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait_from_another_thread() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poller, 99).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake();
+        });
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        waker.drain();
+        handle.join().unwrap();
+        // Drained: the pipe goes quiet.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "waker still pending: {events:?}");
+    }
+}
