@@ -7,6 +7,8 @@
 
 #![deny(missing_docs)]
 
+pub mod workload;
+
 use std::path::PathBuf;
 use std::time::Instant;
 

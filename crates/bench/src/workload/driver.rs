@@ -1,0 +1,556 @@
+//! The multi-user traffic driver.
+//!
+//! Sessions arrive **open-loop**: a seeded Poisson process fixes every
+//! session's arrival offset up front, one scoped thread per session sleeps
+//! until its offset, connects, and then runs its state machine
+//! **closed-loop** (think time, send, await reply) — the standard hybrid
+//! that lets arrival pressure exceed service capacity instead of
+//! self-throttling. Per-op latencies go into shared lock-free
+//! [`LatencyHistogram`]s; a scraper thread polls `STATS` during the run for
+//! the server-side view (peak in-flight requests).
+//!
+//! After the run the driver **reconciles** client-side counts against the
+//! server's own `STATS` deltas and `METRICS` exposition: every op's
+//! success and error counts, and the busy-rejection total, must match
+//! *exactly* — the server records metrics before writing each reply, so
+//! once every client has joined there is no window for drift. A mismatch
+//! means lost or double-counted requests and fails the run regardless of
+//! latency.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use obs::LatencyHistogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdx_server::testkit::fan_out;
+use vdx_server::{parse_stats, Client};
+
+use super::session::{Session, SessionKind, SessionMix, SessionSpace};
+
+/// The op vocabulary sessions draw from, in report order. The harness's
+/// own control traffic (`STATS`, `METRICS`, `QUIT`) is deliberately outside
+/// this set so it can never blur the reconciliation.
+pub const OPS: [&str; 6] = ["select", "refine", "hist", "track", "ping", "info"];
+
+/// Map a request line to its slot in [`OPS`] (by leading verb).
+fn op_index(line: &str) -> usize {
+    let verb = line.split('\t').next().unwrap_or("");
+    match verb {
+        "SELECT" => 0,
+        "REFINE" => 1,
+        "HIST" => 2,
+        "TRACK" => 3,
+        "PING" => 4,
+        "INFO" => 5,
+        other => panic!("session emitted an unexpected verb: {other:?}"),
+    }
+}
+
+/// Everything that parameterizes one workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Total sessions to launch.
+    pub sessions: usize,
+    /// Open-loop arrival rate, sessions per second.
+    pub arrival_rps: f64,
+    /// Kind mix for sessions beyond the first three (the first three are
+    /// pinned to browse/drill-down/tracker so every kind is always
+    /// exercised at least once).
+    pub mix: SessionMix,
+    /// Mean client think time between requests within a session.
+    pub think: Duration,
+    /// Master seed: fixes arrivals, kinds, and every per-session plan.
+    pub seed: u64,
+    /// The request vocabulary (steps, columns, thresholds).
+    pub space: SessionSpace,
+}
+
+/// Aggregated client-side numbers for one op.
+#[derive(Debug)]
+pub struct OpOutcome {
+    /// Op name (entry of [`OPS`]).
+    pub op: &'static str,
+    /// Latency distribution of successful requests.
+    pub hist: LatencyHistogram,
+    /// `OK` replies.
+    pub ok: u64,
+    /// Non-busy `ERR` replies.
+    pub errors: u64,
+    /// Admission-control `ERR busy` rejections.
+    pub busy: u64,
+}
+
+/// Per-session-kind aggregate.
+#[derive(Debug)]
+pub struct KindOutcome {
+    /// The session kind.
+    pub kind: SessionKind,
+    /// Sessions that drained their whole plan.
+    pub completed: u64,
+    /// Sessions ended early by an `ERR` reply or transport failure.
+    pub aborted: u64,
+    /// Whole-session duration distribution (completed sessions only).
+    pub hist: LatencyHistogram,
+}
+
+/// One client-vs-server reconciliation line.
+#[derive(Debug, Clone)]
+pub struct Recon {
+    /// What is being compared (e.g. `select_count`, `busy_rejections`).
+    pub name: String,
+    /// The server-side number (STATS delta or METRICS sample).
+    pub server: u64,
+    /// The client-side number.
+    pub client: u64,
+}
+
+/// The full result of one workload run.
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    /// Per-op aggregates, in [`OPS`] order.
+    pub ops: Vec<OpOutcome>,
+    /// Per-kind aggregates, in [`SessionKind::ALL`] order.
+    pub kinds: Vec<KindOutcome>,
+    /// Wall-clock span from first arrival to last session joined.
+    pub wall: Duration,
+    /// Highest `inflight_requests` gauge seen by the mid-run scraper.
+    pub peak_inflight: i64,
+    /// Number of successful mid-run `STATS` scrapes.
+    pub scrapes: u64,
+    /// Client-vs-server reconciliation lines.
+    pub reconciliation: Vec<Recon>,
+}
+
+impl WorkloadOutcome {
+    /// Total successful requests across all ops.
+    pub fn total_ok(&self) -> u64 {
+        self.ops.iter().map(|o| o.ok).sum()
+    }
+
+    /// Total non-busy error replies across all ops.
+    pub fn total_errors(&self) -> u64 {
+        self.ops.iter().map(|o| o.errors).sum()
+    }
+
+    /// Total busy rejections across all ops.
+    pub fn total_busy(&self) -> u64 {
+        self.ops.iter().map(|o| o.busy).sum()
+    }
+
+    /// Successful-request throughput over the run's wall-clock span.
+    pub fn qps(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.total_ok() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The all-ops latency distribution (bucket-wise merge of the per-op
+    /// histograms — exact, not an approximation).
+    pub fn merged_hist(&self) -> LatencyHistogram {
+        let merged = LatencyHistogram::default();
+        for op in &self.ops {
+            merged.merge(&op.hist);
+        }
+        merged
+    }
+
+    /// `Ok` iff every reconciliation line matches exactly; otherwise the
+    /// error describes every mismatched line.
+    pub fn reconciled(&self) -> Result<(), String> {
+        let mismatches: Vec<String> = self
+            .reconciliation
+            .iter()
+            .filter(|r| r.server != r.client)
+            .map(|r| format!("{}: server={} client={}", r.name, r.server, r.client))
+            .collect();
+        if mismatches.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "client/server counts diverged: {}",
+                mismatches.join("; ")
+            ))
+        }
+    }
+}
+
+/// Per-op shared accumulation slot (written by all session threads).
+#[derive(Debug, Default)]
+struct OpSlot {
+    hist: LatencyHistogram,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    busy: AtomicU64,
+}
+
+/// What one session thread reports back.
+struct SessionResult {
+    kind: SessionKind,
+    duration: Duration,
+    aborted: bool,
+    transport_error: Option<String>,
+}
+
+/// One session's fixed launch parameters, all drawn from the master seed.
+struct SessionSpec {
+    kind: SessionKind,
+    offset: Duration,
+    seed: u64,
+}
+
+/// Draw every session's (kind, arrival offset, seed) from the master rng.
+/// Exponential interarrival gaps make the arrival process Poisson.
+fn draw_specs(config: &WorkloadConfig) -> Vec<SessionSpec> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut at = 0.0f64;
+    (0..config.sessions)
+        .map(|i| {
+            let kind = if i < SessionKind::ALL.len() {
+                SessionKind::ALL[i]
+            } else {
+                config.mix.sample(&mut rng)
+            };
+            let u: f64 = rng.gen_range(0.0..1.0);
+            if config.arrival_rps > 0.0 {
+                at += -(1.0 - u).ln() / config.arrival_rps;
+            }
+            SessionSpec {
+                kind,
+                offset: Duration::from_secs_f64(at),
+                seed: rng.gen::<u64>(),
+            }
+        })
+        .collect()
+}
+
+fn stat_u64(stats: &HashMap<String, String>, key: &str) -> u64 {
+    stats
+        .get(key)
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// Parse `vdx_requests_total{op="<op>"} <value>` samples out of a METRICS
+/// exposition body.
+fn exposition_request_totals(lines: &[String]) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    for line in lines {
+        let Some(rest) = line.strip_prefix("vdx_requests_total{op=\"") else {
+            continue;
+        };
+        let Some((op, value)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(op.to_string(), v as u64);
+        }
+    }
+    out
+}
+
+/// Run one session to completion against `addr`, accumulating into `slots`.
+/// `harness_busy` counts busy rejections of non-vocabulary requests (the
+/// polite `QUIT` — admission control refuses by queue state before it ever
+/// looks at the verb, so even a goodbye can bounce under overload).
+fn run_session(
+    addr: SocketAddr,
+    spec: &SessionSpec,
+    config: &WorkloadConfig,
+    start: Instant,
+    slots: &[OpSlot],
+    harness_busy: &AtomicU64,
+) -> SessionResult {
+    let target = start + spec.offset;
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            return SessionResult {
+                kind: spec.kind,
+                duration: Duration::ZERO,
+                aborted: true,
+                transport_error: Some(format!("connect: {e}")),
+            }
+        }
+    };
+    let mut session = Session::new(spec.kind, spec.seed, &config.space, config.think);
+    let opened = Instant::now();
+    let mut prev: Option<String> = None;
+    let mut transport_error = None;
+    while let Some(op) = session.next_op(prev.as_deref()) {
+        if !op.think.is_zero() {
+            std::thread::sleep(op.think);
+        }
+        let slot = &slots[op_index(&op.line)];
+        let sent = Instant::now();
+        match client.request(&op.line) {
+            Ok(reply) => {
+                if reply.starts_with("OK\t") {
+                    slot.hist.record(sent.elapsed());
+                    slot.ok.fetch_add(1, Ordering::Relaxed);
+                } else if reply.starts_with("ERR\tbusy") {
+                    slot.busy.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    slot.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                prev = Some(reply);
+            }
+            Err(e) => {
+                transport_error = Some(e.to_string());
+                break;
+            }
+        }
+    }
+    let duration = opened.elapsed();
+    if transport_error.is_none() {
+        // Polite exit; QUIT returns before metrics recording, so it never
+        // shows up in the per-op counters — but its admission-control
+        // rejection would, hence the count.
+        if let Ok(reply) = client.request("QUIT") {
+            if reply.starts_with("ERR\tbusy") {
+                harness_busy.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    SessionResult {
+        kind: spec.kind,
+        duration,
+        aborted: session.aborted() || transport_error.is_some(),
+        transport_error,
+    }
+}
+
+/// Run the configured workload against a live server at `addr`.
+///
+/// Fails on transport-level problems (control connection, session-thread
+/// connect/IO errors); protocol-level `ERR` replies are *data* (counted,
+/// reported, SLO-checked), not failures.
+pub fn run(addr: SocketAddr, config: &WorkloadConfig) -> Result<WorkloadOutcome, String> {
+    assert!(config.sessions > 0, "workload needs at least one session");
+    let specs = draw_specs(config);
+    let slots: Vec<OpSlot> = (0..OPS.len()).map(|_| OpSlot::default()).collect();
+
+    let mut control =
+        Client::connect(addr).map_err(|e| format!("control connection failed: {e}"))?;
+    let before = parse_stats(
+        &control
+            .request("STATS")
+            .map_err(|e| format!("pre-run STATS failed: {e}"))?,
+    );
+
+    let stop = AtomicBool::new(false);
+    let peak_inflight = AtomicI64::new(0);
+    let scrapes = AtomicU64::new(0);
+    // Under deliberate overload the harness's own requests (scraper STATS,
+    // session QUITs) can be busy-rejected too; they must be counted or the
+    // busy reconciliation would blame the sessions for rejections the
+    // harness absorbed.
+    let harness_busy = AtomicU64::new(0);
+    let start = Instant::now();
+
+    let mut results: Vec<SessionResult> = Vec::new();
+    std::thread::scope(|scope| {
+        // Mid-run scraper: the server-side view while traffic is in flight.
+        scope.spawn(|| {
+            let Ok(mut scraper) = Client::connect(addr) else {
+                return;
+            };
+            while !stop.load(Ordering::Acquire) {
+                if let Ok(reply) = scraper.request("STATS") {
+                    if reply.starts_with("ERR\tbusy") {
+                        harness_busy.fetch_add(1, Ordering::Relaxed);
+                    } else if reply.starts_with("OK\t") {
+                        let stats = parse_stats(&reply);
+                        if let Some(v) = stats
+                            .get("inflight_requests")
+                            .and_then(|v| v.parse::<i64>().ok())
+                        {
+                            peak_inflight.fetch_max(v, Ordering::Relaxed);
+                        }
+                        scrapes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            if let Ok(reply) = scraper.request("QUIT") {
+                if reply.starts_with("ERR\tbusy") {
+                    harness_busy.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+
+        results = fan_out(config.sessions, |i| {
+            run_session(addr, &specs[i], config, start, &slots, &harness_busy)
+        });
+        stop.store(true, Ordering::Release);
+    });
+    let wall = start.elapsed();
+
+    if let Some(e) = results.iter().find_map(|r| r.transport_error.as_ref()) {
+        return Err(format!("session transport failure: {e}"));
+    }
+
+    let after = parse_stats(
+        &control
+            .request("STATS")
+            .map_err(|e| format!("post-run STATS failed: {e}"))?,
+    );
+    let exposition = exposition_request_totals(
+        &control
+            .metrics()
+            .map_err(|e| format!("post-run METRICS failed: {e}"))?,
+    );
+    let _ = control.request("QUIT");
+
+    let ops: Vec<OpOutcome> = OPS
+        .iter()
+        .zip(slots)
+        .map(|(op, slot)| OpOutcome {
+            op,
+            hist: slot.hist,
+            ok: slot.ok.into_inner(),
+            errors: slot.errors.into_inner(),
+            busy: slot.busy.into_inner(),
+        })
+        .collect();
+
+    let kinds: Vec<KindOutcome> = SessionKind::ALL
+        .iter()
+        .map(|&kind| {
+            let hist = LatencyHistogram::default();
+            let mut completed = 0;
+            let mut aborted = 0;
+            for r in results.iter().filter(|r| r.kind == kind) {
+                if r.aborted {
+                    aborted += 1;
+                } else {
+                    completed += 1;
+                    hist.record(r.duration);
+                }
+            }
+            KindOutcome {
+                kind,
+                completed,
+                aborted,
+                hist,
+            }
+        })
+        .collect();
+
+    let mut reconciliation = Vec::new();
+    for op in &ops {
+        reconciliation.push(Recon {
+            name: format!("{}_count", op.op),
+            server: stat_u64(&after, &format!("{}_count", op.op))
+                - stat_u64(&before, &format!("{}_count", op.op)),
+            client: op.ok,
+        });
+        reconciliation.push(Recon {
+            name: format!("{}_errors", op.op),
+            server: stat_u64(&after, &format!("{}_errors", op.op))
+                - stat_u64(&before, &format!("{}_errors", op.op)),
+            client: op.errors,
+        });
+        // Cross-surface consistency: the Prometheus exposition must agree
+        // with the STATS counter it mirrors (both cumulative).
+        reconciliation.push(Recon {
+            name: format!("metrics_{}_total", op.op),
+            server: exposition.get(op.op).copied().unwrap_or(0),
+            client: stat_u64(&after, &format!("{}_count", op.op)),
+        });
+    }
+    reconciliation.push(Recon {
+        name: "busy_rejections".to_string(),
+        server: stat_u64(&after, "busy_rejections") - stat_u64(&before, "busy_rejections"),
+        client: ops.iter().map(|o| o.busy).sum::<u64>() + harness_busy.into_inner(),
+    });
+
+    Ok(WorkloadOutcome {
+        ops,
+        kinds,
+        wall,
+        peak_inflight: peak_inflight.into_inner(),
+        scrapes: scrapes.into_inner(),
+        reconciliation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(sessions: usize, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            sessions,
+            arrival_rps: 100.0,
+            mix: SessionMix::default(),
+            think: Duration::ZERO,
+            seed,
+            space: SessionSpace::for_steps(vec![0, 1]),
+        }
+    }
+
+    #[test]
+    fn specs_are_deterministic_and_cover_every_kind() {
+        let a = draw_specs(&config(12, 7));
+        let b = draw_specs(&config(12, 7));
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.offset, y.offset);
+            assert_eq!(x.seed, y.seed);
+        }
+        assert_eq!(
+            [a[0].kind, a[1].kind, a[2].kind],
+            SessionKind::ALL,
+            "the first three sessions pin one of each kind"
+        );
+        let c = draw_specs(&config(12, 8));
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.seed != y.seed),
+            "different master seeds give different session seeds"
+        );
+    }
+
+    #[test]
+    fn arrival_offsets_are_nondecreasing() {
+        let specs = draw_specs(&config(32, 3));
+        for pair in specs.windows(2) {
+            assert!(pair[0].offset <= pair[1].offset);
+        }
+        assert!(specs.last().unwrap().offset > Duration::ZERO);
+    }
+
+    #[test]
+    fn exposition_parser_reads_request_totals() {
+        let lines = vec![
+            "# HELP vdx_requests_total requests".to_string(),
+            "vdx_requests_total{op=\"select\"} 42".to_string(),
+            "vdx_requests_total{op=\"hist\"} 7".to_string(),
+            "vdx_other{op=\"select\"} 9".to_string(),
+        ];
+        let totals = exposition_request_totals(&lines);
+        assert_eq!(totals.get("select"), Some(&42));
+        assert_eq!(totals.get("hist"), Some(&7));
+        assert_eq!(totals.len(), 2);
+    }
+
+    #[test]
+    fn op_index_covers_the_session_vocabulary() {
+        assert_eq!(op_index("SELECT\t0\tpx > 0"), 0);
+        assert_eq!(op_index("REFINE\t0\t1,2\tx > 0"), 1);
+        assert_eq!(op_index("HIST\t0\tpx\t16"), 2);
+        assert_eq!(op_index("TRACK\t1,2"), 3);
+        assert_eq!(op_index("PING"), 4);
+        assert_eq!(op_index("INFO"), 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! Service-level objective declaration and evaluation.
+//!
+//! An [`SloSet`] declares per-op latency bounds at a quantile plus hard
+//! ceilings on error and busy-rejection counts. [`evaluate`] checks a
+//! finished [`WorkloadOutcome`] against the
+//! set and produces a line-per-objective report whose final verdict line
+//! (`SLO VERDICT: PASS|FAIL`) is what CI greps for.
+
+use std::fmt::Write as _;
+
+use super::driver::WorkloadOutcome;
+
+/// One latency objective: quantile `q` of op `op` must come in under
+/// `max_ms` milliseconds.
+#[derive(Debug, Clone)]
+pub struct LatencySlo {
+    /// Op name as reported by the driver (`select`, `hist`, ...).
+    pub op: String,
+    /// Quantile in `(0, 1]`, e.g. `0.99`.
+    pub q: f64,
+    /// Upper bound on that quantile, in milliseconds.
+    pub max_ms: f64,
+}
+
+/// A full objective set for one workload run.
+#[derive(Debug, Clone)]
+pub struct SloSet {
+    /// Per-op latency bounds.
+    pub latency: Vec<LatencySlo>,
+    /// Maximum tolerated non-busy error replies across all ops.
+    pub max_errors: u64,
+    /// Maximum tolerated busy rejections (admission-control `ERR busy`).
+    pub max_busy: u64,
+}
+
+impl SloSet {
+    /// The CI-scale objective set. Bounds are deliberately loose for noisy
+    /// shared runners — they exist to catch order-of-magnitude regressions
+    /// and any error/rejection at all, not to benchmark the hardware.
+    pub fn ci_default() -> Self {
+        let p99 = |op: &str, max_ms: f64| LatencySlo {
+            op: op.to_string(),
+            q: 0.99,
+            max_ms,
+        };
+        Self {
+            latency: vec![
+                p99("ping", 50.0),
+                p99("info", 50.0),
+                p99("select", 250.0),
+                p99("refine", 250.0),
+                p99("hist", 250.0),
+                p99("track", 1000.0),
+            ],
+            max_errors: 0,
+            max_busy: 0,
+        }
+    }
+
+    /// An effectively-unbounded latency set that still fails on any error
+    /// or busy rejection — for tests that only care about correctness.
+    pub fn errors_only() -> Self {
+        Self {
+            latency: Vec::new(),
+            max_errors: 0,
+            max_busy: 0,
+        }
+    }
+}
+
+/// One evaluated objective.
+#[derive(Debug, Clone)]
+pub struct SloOutcome {
+    /// Human-readable objective name, e.g. `select_p99_ms` or `busy`.
+    pub name: String,
+    /// Observed value (ms for latency objectives, a count otherwise);
+    /// `None` when the op saw no successful samples (vacuously passing).
+    pub observed: Option<f64>,
+    /// The declared bound.
+    pub limit: f64,
+    /// Whether the objective held.
+    pub pass: bool,
+}
+
+/// The evaluated set plus the overall verdict.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    /// Every objective, in declaration order (latency first, then counts).
+    pub outcomes: Vec<SloOutcome>,
+    /// True iff every objective passed.
+    pub pass: bool,
+}
+
+impl SloReport {
+    /// Render the report as the fixed text block CI asserts on, ending in
+    /// the `SLO VERDICT:` line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let observed = match o.observed {
+                Some(v) => format!("{v:.3}"),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "SLO {:<16} observed={observed:>10} limit={:>10.3} {}",
+                o.name,
+                o.limit,
+                if o.pass { "ok" } else { "VIOLATED" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "SLO VERDICT: {}",
+            if self.pass { "PASS" } else { "FAIL" }
+        );
+        out
+    }
+}
+
+/// Evaluate `slos` against a finished workload run.
+pub fn evaluate(slos: &SloSet, outcome: &WorkloadOutcome) -> SloReport {
+    let mut outcomes = Vec::new();
+    for slo in &slos.latency {
+        let observed = outcome
+            .ops
+            .iter()
+            .find(|o| o.op == slo.op)
+            .and_then(|o| o.hist.quantile_us(slo.q))
+            .map(|us| us / 1_000.0);
+        let pass = observed.is_none_or(|ms| ms <= slo.max_ms);
+        outcomes.push(SloOutcome {
+            name: format!("{}_p{:.0}_ms", slo.op, slo.q * 100.0),
+            observed,
+            limit: slo.max_ms,
+            pass,
+        });
+    }
+    let errors = outcome.total_errors();
+    outcomes.push(SloOutcome {
+        name: "errors".to_string(),
+        observed: Some(errors as f64),
+        limit: slos.max_errors as f64,
+        pass: errors <= slos.max_errors,
+    });
+    let busy = outcome.total_busy();
+    outcomes.push(SloOutcome {
+        name: "busy".to_string(),
+        observed: Some(busy as f64),
+        limit: slos.max_busy as f64,
+        pass: busy <= slos.max_busy,
+    });
+    let pass = outcomes.iter().all(|o| o.pass);
+    SloReport { outcomes, pass }
+}

@@ -163,6 +163,55 @@ impl LatencyHistogram {
         // Only overflow (>10 s) samples remain.
         Some(10f64.powf(LOG_HI))
     }
+
+    /// Fold another histogram's samples into this one, bucket-wise.
+    ///
+    /// Each bucket (and the overflow/count/sum tallies) is added with one
+    /// relaxed atomic add, so merging never blocks recorders — but the merge
+    /// as a whole is not one atomic snapshot of `other`. Intended for
+    /// aggregation of quiesced per-thread or per-op histograms (e.g. the
+    /// workload harness folding per-op latency sketches into an all-ops
+    /// distribution), where `other` is no longer being written.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v > 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.overflow
+            .fetch_add(other.overflow.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_us
+            .fetch_add(other.sum_us.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Arithmetic mean of the recorded samples in microseconds, or `None`
+    /// when no sample has ever been recorded.
+    pub fn mean_us(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum_us() as f64 / n as f64)
+    }
+
+    /// Export the occupied buckets as `(bucket_floor_us, count)` pairs in
+    /// ascending latency order; overflow samples (>10 s) appear last at the
+    /// 10 s range top. Empty buckets are skipped, so the result is compact
+    /// enough to serialize into benchmark reports.
+    pub fn occupied_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c > 0 {
+                out.push((10f64.powf(LOG_LO + i as f64 * LOG_STEP), c));
+            }
+        }
+        let overflow = self.overflow.load(Ordering::Relaxed);
+        if overflow > 0 {
+            out.push((10f64.powf(LOG_HI), overflow));
+        }
+        out
+    }
 }
 
 /// What a registered entry renders as.
@@ -476,6 +525,56 @@ mod tests {
         let text = r.render();
         assert!(text.contains("test_total{op=\"x\"} 5\n"), "{text}");
         assert!(text.contains("test_gauge -7\n"), "{text}");
+    }
+
+    #[test]
+    fn merge_folds_buckets_counts_and_sums() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        for _ in 0..50 {
+            a.record(Duration::from_micros(100));
+        }
+        for _ in 0..50 {
+            b.record(Duration::from_millis(50));
+        }
+        b.record_us(20e6); // overflow (>10 s)
+        a.merge(&b);
+        assert_eq!(a.count(), 101);
+        assert_eq!(a.sum_us(), 50 * 100 + 50 * 50_000 + 20_000_000);
+        let p25 = a.quantile_us(0.25).unwrap();
+        assert!((80.0..130.0).contains(&p25), "p25 ≈ 100µs, got {p25}");
+        let p70 = a.quantile_us(0.7).unwrap();
+        assert!((35_000.0..70_000.0).contains(&p70), "p70 ≈ 50ms, got {p70}");
+        assert_eq!(a.quantile_us(1.0), Some(1e7), "overflow reports range top");
+        // Merging an empty histogram is a no-op.
+        let before = a.count();
+        a.merge(&LatencyHistogram::default());
+        assert_eq!(a.count(), before);
+    }
+
+    #[test]
+    fn mean_us_distinguishes_empty_from_fast() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.mean_us(), None);
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(30));
+        assert_eq!(h.mean_us(), Some(20.0));
+    }
+
+    #[test]
+    fn occupied_buckets_export_is_compact_and_ordered() {
+        let h = LatencyHistogram::default();
+        assert!(h.occupied_buckets().is_empty());
+        for _ in 0..3 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        h.record_us(20e6);
+        let buckets = h.occupied_buckets();
+        assert_eq!(buckets.len(), 3, "{buckets:?}");
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "{buckets:?}");
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert_eq!(buckets.last().unwrap(), &(1e7, 1), "overflow last");
     }
 
     #[test]

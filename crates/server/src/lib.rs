@@ -28,6 +28,9 @@
 //!   (`SLOWLOG`), configured by `--trace-sample` and `--slow-ms`.
 //! * [`client::Client`] — a blocking client used by the CLI query mode, the
 //!   CI smoke driver and the tests.
+//! * [`testkit`] — shared test/bench support: tiny generated catalogs,
+//!   disposable servers and concurrent client drivers, reused by this
+//!   crate's integration suites and the `vdx-bench` workload harness.
 
 #![deny(missing_docs)]
 
@@ -38,6 +41,7 @@ pub mod metrics;
 pub mod protocol;
 pub mod query_cache;
 pub mod server;
+pub mod testkit;
 
 pub use client::{parse_stats, Client};
 pub use metrics::{ConnMetrics, OpMetrics, ServerMetrics};

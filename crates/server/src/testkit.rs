@@ -1,0 +1,190 @@
+//! Shared test/bench support: tiny generated catalogs, disposable servers
+//! and concurrent client drivers.
+//!
+//! The integration suites (`concurrent_clients`, `connection_suite`,
+//! `obs_concurrency`) and the workload harness in `vdx-bench` all need the
+//! same three ingredients — a small on-disk catalog, a server bound to an
+//! ephemeral port with a cleanup path, and a fan-out of N concurrent
+//! clients — and used to hand-roll them separately. This module is the one
+//! home for those helpers. It is compiled into the library (not
+//! `#[cfg(test)]`) because out-of-crate consumers (the bench crate's
+//! workload driver and its tests) reuse it too.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use datastore::Catalog;
+use histogram::Binning;
+use lwfa::{SimConfig, Simulation};
+
+use crate::client::Client;
+use crate::server::{Server, ServerConfig, ServerHandle, ServerState};
+
+/// Generate a small indexed on-disk catalog under the system temp dir.
+///
+/// The directory is keyed on `tag` and the process id, so concurrent test
+/// binaries do not collide; any stale directory from a previous run with
+/// the same key is removed first. Returns the catalog and its directory —
+/// callers remove the directory when done (or let [`TestServer`] do it).
+pub fn tiny_catalog(
+    tag: &str,
+    particles: usize,
+    timesteps: usize,
+    index_bins: usize,
+) -> (Arc<Catalog>, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("vdx_testkit_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut catalog = Catalog::create(&dir).expect("create catalog dir");
+    let mut config = SimConfig::tiny();
+    config.particles_per_step = particles;
+    config.num_timesteps = timesteps;
+    Simulation::new(config)
+        .run_to_catalog(
+            &mut catalog,
+            Some(&Binning::EqualWidth { bins: index_bins }),
+        )
+        .expect("catalog generation");
+    (Arc::new(catalog), dir)
+}
+
+/// A running server over a generated catalog, with teardown in one place.
+#[derive(Debug)]
+pub struct TestServer {
+    /// Handle to the running server (address, state, shutdown).
+    pub handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+    dir: PathBuf,
+}
+
+impl TestServer {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// The shared server state (metrics, caches, `handle_line`).
+    pub fn state(&self) -> &ServerState {
+        self.handle.state()
+    }
+
+    /// Gracefully stop the server, join its run loop (propagating any I/O
+    /// error or panic), and remove the catalog directory.
+    pub fn shutdown_and_clean(self) {
+        self.handle.shutdown();
+        self.join.join().expect("server run loop panicked").unwrap();
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Generate a tiny catalog (as [`tiny_catalog`]) and spawn a server over it
+/// on an ephemeral port.
+pub fn spawn_tiny_server(
+    tag: &str,
+    particles: usize,
+    timesteps: usize,
+    index_bins: usize,
+    config: ServerConfig,
+) -> TestServer {
+    let (catalog, dir) = tiny_catalog(tag, particles, timesteps, index_bins);
+    spawn_server(catalog, dir, config)
+}
+
+/// Spawn a server over an already-built catalog; `dir` is removed on
+/// [`TestServer::shutdown_and_clean`].
+pub fn spawn_server(catalog: Arc<Catalog>, dir: PathBuf, config: ServerConfig) -> TestServer {
+    let server = Server::bind(catalog, "127.0.0.1:0", config).expect("bind ephemeral port");
+    let (handle, join) = server.spawn();
+    TestServer { handle, join, dir }
+}
+
+/// Run `f(index)` on `clients` scoped threads concurrently and collect the
+/// results in index order. A panic in any closure propagates to the caller
+/// (so assertions inside `f` fail the test that used the helper).
+///
+/// This is the bare fan-out: `f` owns its connection lifecycle, which the
+/// workload driver uses to connect at each session's open-loop arrival time
+/// rather than up front.
+pub fn fan_out<T, F>(clients: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut slots: Vec<Option<T>> = (0..clients).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every client thread ran"))
+        .collect()
+}
+
+/// Drive `clients` concurrent connections against `addr`: each scoped
+/// thread connects, runs `f(index, &mut client)`, then leaves politely with
+/// `QUIT` (asserted to answer `OK\tBYE`). Results come back in index order;
+/// a panic inside `f` propagates.
+pub fn drive_clients<T, F>(addr: SocketAddr, clients: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Client) -> T + Sync,
+{
+    fan_out(clients, |i| {
+        let mut client =
+            Client::connect(addr).unwrap_or_else(|e| panic!("client {i} connect failed: {e}"));
+        let out = f(i, &mut client);
+        assert_eq!(
+            client.request("QUIT").expect("QUIT after workload"),
+            "OK\tBYE",
+            "client {i} did not get a clean goodbye"
+        );
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::IoMode;
+
+    #[test]
+    fn fan_out_returns_results_in_index_order() {
+        let got = fan_out(8, |i| i * i);
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn drive_clients_round_trips_against_a_tiny_server() {
+        let server = spawn_tiny_server(
+            "testkit_smoke",
+            100,
+            2,
+            8,
+            ServerConfig {
+                workers: 2,
+                io_mode: IoMode::Async,
+                ..Default::default()
+            },
+        );
+        let replies = drive_clients(server.addr(), 4, |i, client| {
+            let pong = client.request("PING").unwrap();
+            assert_eq!(pong, "OK\tPONG");
+            let select = client
+                .request(&format!("SELECT\t{}\tpx > 0", i % 2))
+                .unwrap();
+            assert!(select.starts_with("OK\tSELECT\t"), "{select:?}");
+            select
+        });
+        assert_eq!(replies.len(), 4);
+        assert_eq!(
+            replies[0], replies[2],
+            "same step, same deterministic reply"
+        );
+        server.shutdown_and_clean();
+    }
+}

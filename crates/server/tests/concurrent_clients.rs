@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use datastore::DatasetCacheConfig;
 use lwfa::SimConfig;
 use vdx_core::{DataExplorer, ExplorerConfig};
-use vdx_server::{parse_stats, protocol, Client, IoMode, Server, ServerConfig};
+use vdx_server::{parse_stats, protocol, testkit, Client, IoMode, Server, ServerConfig};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("vdx_server_it_{tag}_{}", std::process::id()));
@@ -172,21 +172,16 @@ fn concurrent_clients_get_exact_results_and_caches_behave(io_mode: IoMode, tag: 
 
     // (a) 10 concurrent clients replay rotations of the workload; every
     // reply must match the DataExplorer-derived expectation byte-for-byte.
-    std::thread::scope(|scope| {
-        for offset in 0..10usize {
-            let workload = &workload;
-            scope.spawn(move || {
-                let mut client = Client::connect(addr).unwrap();
-                for i in 0..workload.len() {
-                    let (request, expected) = &workload[(i + offset) % workload.len()];
-                    let reply = client.request(request).unwrap();
-                    assert_eq!(
-                        &reply, expected,
-                        "client {offset}: reply for {request:?} diverged"
-                    );
-                }
-                assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
-            });
+    // (The fan-out — connect, run, polite QUIT — is the shared testkit
+    // helper the bench workload driver reuses too.)
+    testkit::drive_clients(addr, 10, |offset, client| {
+        for i in 0..workload.len() {
+            let (request, expected) = &workload[(i + offset) % workload.len()];
+            let reply = client.request(request).unwrap();
+            assert_eq!(
+                &reply, expected,
+                "client {offset}: reply for {request:?} diverged"
+            );
         }
     });
 

@@ -6,50 +6,16 @@
 
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use datastore::Catalog;
-use histogram::Binning;
-use lwfa::{SimConfig, Simulation};
-use vdx_server::{framing, Client, IoMode, Server, ServerConfig, ServerHandle};
+use vdx_server::testkit::{self, TestServer};
+use vdx_server::{framing, Client, IoMode, ServerConfig};
 
-fn fixture(tag: &str) -> (Arc<Catalog>, PathBuf) {
-    let dir = std::env::temp_dir().join(format!("vdx_conn_suite_{tag}_{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    let mut catalog = Catalog::create(&dir).unwrap();
-    let mut config = SimConfig::tiny();
-    config.particles_per_step = 200;
-    config.num_timesteps = 2;
-    Simulation::new(config)
-        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 8 }))
-        .unwrap();
-    (Arc::new(catalog), dir)
-}
-
-fn spawn_server(
-    tag: &str,
-    config: ServerConfig,
-) -> (
-    ServerHandle,
-    std::thread::JoinHandle<std::io::Result<()>>,
-    PathBuf,
-) {
-    let (catalog, dir) = fixture(tag);
-    let server = Server::bind(catalog, "127.0.0.1:0", config).unwrap();
-    let (handle, join) = server.spawn();
-    (handle, join, dir)
-}
-
-fn shutdown_and_clean(
-    handle: &ServerHandle,
-    join: std::thread::JoinHandle<std::io::Result<()>>,
-    dir: &PathBuf,
-) {
-    handle.shutdown();
-    join.join().unwrap().unwrap();
-    std::fs::remove_dir_all(dir).ok();
+/// This suite's standard server: a 200-particle, 2-timestep catalog (the
+/// connection layer is the subject here, not the data) via the shared
+/// [`testkit`] fixture/spawn/teardown helpers.
+fn spawn_server(tag: &str, config: ServerConfig) -> TestServer {
+    testkit::spawn_tiny_server(tag, 200, 2, 8, config)
 }
 
 /// Read one `\n`-terminated line from a raw socket (without the Client's
@@ -70,7 +36,7 @@ fn read_raw_line(reader: &mut BufReader<TcpStream>) -> Option<String> {
 /// because an idle connection holds a buffer, not a thread.
 #[test]
 fn idle_connections_do_not_starve_fresh_clients_async() {
-    let (handle, join, dir) = spawn_server(
+    let server = spawn_server(
         "starve_async",
         ServerConfig {
             workers: 2,
@@ -78,7 +44,7 @@ fn idle_connections_do_not_starve_fresh_clients_async() {
             ..Default::default()
         },
     );
-    let addr = handle.addr();
+    let addr = server.addr();
 
     let mut idlers = Vec::new();
     for _ in 0..8 {
@@ -95,10 +61,10 @@ fn idle_connections_do_not_starve_fresh_clients_async() {
         latency < Duration::from_secs(2),
         "fresh PING took {latency:?} behind 8 idle connections"
     );
-    assert!(handle.state().conn_metrics().open() >= 9);
+    assert!(server.state().conn_metrics().open() >= 9);
 
     drop(idlers);
-    shutdown_and_clean(&handle, join, &dir);
+    server.shutdown_and_clean();
 }
 
 /// The foil: under the threaded layer the same shape *does* starve. Two
@@ -108,7 +74,7 @@ fn idle_connections_do_not_starve_fresh_clients_async() {
 /// threaded layer has silently changed semantics and the docs are stale.
 #[test]
 fn threaded_mode_starves_by_design_pinned() {
-    let (handle, join, dir) = spawn_server(
+    let server = spawn_server(
         "starve_thr",
         ServerConfig {
             workers: 2,
@@ -116,7 +82,7 @@ fn threaded_mode_starves_by_design_pinned() {
             ..Default::default()
         },
     );
-    let addr = handle.addr();
+    let addr = server.addr();
 
     // Prove each idler was picked up by a worker before going silent.
     let mut idlers = Vec::new();
@@ -146,7 +112,7 @@ fn threaded_mode_starves_by_design_pinned() {
         assert_eq!(idler.request("QUIT").unwrap(), "OK\tBYE");
     }
     drop(probe);
-    shutdown_and_clean(&handle, join, &dir);
+    server.shutdown_and_clean();
 }
 
 /// A connection idle past `idle_timeout_ms` is evicted with the typed
@@ -154,7 +120,7 @@ fn threaded_mode_starves_by_design_pinned() {
 /// disconnect, not a connection error.
 #[test]
 fn idle_timeout_evicts_with_typed_reply() {
-    let (handle, join, dir) = spawn_server(
+    let server = spawn_server(
         "idle_evict",
         ServerConfig {
             workers: 1,
@@ -163,7 +129,7 @@ fn idle_timeout_evicts_with_typed_reply() {
             ..Default::default()
         },
     );
-    let addr = handle.addr();
+    let addr = server.addr();
 
     let stream = TcpStream::connect(addr).unwrap();
     stream
@@ -181,10 +147,11 @@ fn idle_timeout_evicts_with_typed_reply() {
         "eviction should land on the timeout's cadence"
     );
 
-    let conn = handle.state().conn_metrics();
+    let state = server.state();
+    let conn = state.conn_metrics();
     assert!(conn.idle_disconnects() >= 1);
     assert_eq!(conn.errors(), 0, "an idle eviction is not an error");
-    shutdown_and_clean(&handle, join, &dir);
+    server.shutdown_and_clean();
 }
 
 /// Request lines over the cap earn `ERR line too long …` and a close, in
@@ -193,7 +160,7 @@ fn idle_timeout_evicts_with_typed_reply() {
 #[test]
 fn oversized_request_lines_are_rejected_in_both_modes() {
     for (io_mode, tag) in [(IoMode::Async, "cap_async"), (IoMode::Threaded, "cap_thr")] {
-        let (handle, join, dir) = spawn_server(
+        let server = spawn_server(
             tag,
             ServerConfig {
                 workers: 1,
@@ -201,7 +168,7 @@ fn oversized_request_lines_are_rejected_in_both_modes() {
                 ..Default::default()
             },
         );
-        let addr = handle.addr();
+        let addr = server.addr();
 
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
@@ -227,10 +194,11 @@ fn oversized_request_lines_are_rejected_in_both_modes() {
         );
         assert_eq!(read_raw_line(&mut reader), None, "[{io_mode}] then close");
 
-        let conn = handle.state().conn_metrics();
+        let state = server.state();
+        let conn = state.conn_metrics();
         assert!(conn.lines_too_long() >= 1, "[{io_mode}]");
         assert!(conn.errors() >= 1, "[{io_mode}]");
-        shutdown_and_clean(&handle, join, &dir);
+        server.shutdown_and_clean();
     }
 }
 
@@ -272,7 +240,7 @@ fn client_caps_reply_lines_from_a_misbehaving_server() {
 /// one at a time.
 #[test]
 fn pipelined_bursts_reply_in_request_order() {
-    let (handle, join, dir) = spawn_server(
+    let server = spawn_server(
         "pipeline",
         ServerConfig {
             workers: 2,
@@ -280,7 +248,7 @@ fn pipelined_bursts_reply_in_request_order() {
             ..Default::default()
         },
     );
-    let addr = handle.addr();
+    let addr = server.addr();
 
     let requests = [
         "PING",
@@ -312,17 +280,19 @@ fn pipelined_bursts_reply_in_request_order() {
         assert_eq!(&got, expected, "pipelined reply for {request:?} diverged");
     }
 
-    shutdown_and_clean(&handle, join, &dir);
+    server.shutdown_and_clean();
 }
 
-/// Admission control: with `queue_depth: 1`, two connections bursting
-/// concurrently cannot both be in flight, so the loser is refused with the
+/// Admission control: with `queue_depth: 1`, connections bursting
+/// concurrently cannot all be in flight, so losers are refused with the
 /// typed `ERR busy …` reply — written by the reactor, counted in
-/// `busy_rejections`, and never reaching a worker.
+/// `busy_rejections`, and never reaching a worker. The reactor can in
+/// principle serialize a small burst perfectly, so the burst escalates
+/// until a rejection actually lands.
 #[test]
 fn saturated_queue_answers_busy() {
     const BURST: usize = 50;
-    let (handle, join, dir) = spawn_server(
+    let server = spawn_server(
         "busy",
         ServerConfig {
             workers: 1,
@@ -332,47 +302,55 @@ fn saturated_queue_answers_busy() {
             ..Default::default()
         },
     );
-    let addr = handle.addr();
+    let addr = server.addr();
 
     let burst = "PING\n".repeat(BURST);
-    let mut streams = Vec::new();
-    for _ in 0..2 {
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream
-            .set_read_timeout(Some(Duration::from_secs(10)))
-            .unwrap();
-        stream.write_all(burst.as_bytes()).unwrap();
-        streams.push(stream);
-    }
+    let mut total_busys = 0usize;
+    for attempt in 0..4 {
+        let conns = 2usize << attempt;
+        let mut streams = Vec::new();
+        for _ in 0..conns {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            stream.write_all(burst.as_bytes()).unwrap();
+            streams.push(stream);
+        }
 
-    let mut pongs = 0usize;
-    let mut busys = 0usize;
-    for stream in streams {
-        let mut reader = BufReader::new(stream);
-        for _ in 0..BURST {
-            match read_raw_line(&mut reader).unwrap().as_str() {
-                "OK\tPONG" => pongs += 1,
-                "ERR\tbusy (server request queue is full, retry later)" => busys += 1,
-                other => panic!("unexpected reply: {other:?}"),
+        let mut pongs = 0usize;
+        let mut busys = 0usize;
+        for stream in streams {
+            let mut reader = BufReader::new(stream);
+            for _ in 0..BURST {
+                match read_raw_line(&mut reader).unwrap().as_str() {
+                    "OK\tPONG" => pongs += 1,
+                    "ERR\tbusy (server request queue is full, retry later)" => busys += 1,
+                    other => panic!("unexpected reply: {other:?}"),
+                }
             }
         }
+        assert_eq!(
+            pongs + busys,
+            conns * BURST,
+            "every request got exactly one reply"
+        );
+        total_busys += busys;
+        if busys >= 1 {
+            assert!(pongs >= 1, "rejection must not silence the whole burst");
+            break;
+        }
     }
-    assert_eq!(
-        pongs + busys,
-        2 * BURST,
-        "every request got exactly one reply"
-    );
-    assert!(pongs >= BURST, "the winning burst completes");
     assert!(
-        busys >= 1,
-        "the concurrent burst must trip admission control"
+        total_busys >= 1,
+        "an escalating 2..16-connection burst never tripped admission control"
     );
     assert_eq!(
-        handle.state().conn_metrics().busy_rejections(),
-        busys as u64
+        server.state().conn_metrics().busy_rejections(),
+        total_busys as u64
     );
 
-    shutdown_and_clean(&handle, join, &dir);
+    server.shutdown_and_clean();
 }
 
 /// Scale: the event loop holds a thousand live-but-idle connections on a
@@ -381,7 +359,7 @@ fn saturated_queue_answers_busy() {
 #[test]
 fn a_thousand_idle_connections_cost_buffers_not_threads() {
     const IDLE: usize = 1000;
-    let (handle, join, dir) = spawn_server(
+    let server = spawn_server(
         "thousand",
         ServerConfig {
             workers: 2,
@@ -389,7 +367,7 @@ fn a_thousand_idle_connections_cost_buffers_not_threads() {
             ..Default::default()
         },
     );
-    let addr = handle.addr();
+    let addr = server.addr();
 
     let mut idlers = Vec::with_capacity(IDLE);
     for i in 0..IDLE {
@@ -404,7 +382,8 @@ fn a_thousand_idle_connections_cost_buffers_not_threads() {
     }
 
     // The gauge sees every one of them (plus nothing leaked from connects).
-    let conn = handle.state().conn_metrics();
+    let state = server.state();
+    let conn = state.conn_metrics();
     let deadline = Instant::now() + Duration::from_secs(5);
     while conn.open() < IDLE as i64 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(20));
@@ -435,14 +414,14 @@ fn a_thousand_idle_connections_cost_buffers_not_threads() {
         "open={} after dropping idlers",
         conn.open()
     );
-    shutdown_and_clean(&handle, join, &dir);
+    server.shutdown_and_clean();
 }
 
 /// An abrupt peer disconnect (unread replies → RST on close) surfaces in
 /// `connection_errors` instead of vanishing.
 #[test]
 fn abrupt_disconnects_count_as_connection_errors() {
-    let (handle, join, dir) = spawn_server(
+    let server = spawn_server(
         "rst",
         ServerConfig {
             workers: 1,
@@ -450,7 +429,7 @@ fn abrupt_disconnects_count_as_connection_errors() {
             ..Default::default()
         },
     );
-    let addr = handle.addr();
+    let addr = server.addr();
 
     {
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -461,11 +440,12 @@ fn abrupt_disconnects_count_as_connection_errors() {
         std::thread::sleep(Duration::from_millis(300));
     }
 
-    let conn = handle.state().conn_metrics();
+    let state = server.state();
+    let conn = state.conn_metrics();
     let deadline = Instant::now() + Duration::from_secs(5);
     while conn.errors() == 0 && Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(20));
     }
     assert!(conn.errors() >= 1, "the RST teardown was not counted");
-    shutdown_and_clean(&handle, join, &dir);
+    server.shutdown_and_clean();
 }

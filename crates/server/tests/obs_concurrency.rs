@@ -8,26 +8,7 @@
 //! (d) after the workload drains, the `inflight_requests` gauge is zero
 //!     and a replayed request's trace is retrievable and self-consistent.
 
-use std::path::PathBuf;
-use std::sync::Arc;
-
-use datastore::Catalog;
-use histogram::Binning;
-use lwfa::{SimConfig, Simulation};
-use vdx_server::{parse_stats, Client, IoMode, Server, ServerConfig};
-
-fn fixture(tag: &str) -> (Arc<Catalog>, PathBuf) {
-    let dir = std::env::temp_dir().join(format!("vdx_obs_conc_{tag}_{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    let mut catalog = Catalog::create(&dir).unwrap();
-    let mut config = SimConfig::tiny();
-    config.particles_per_step = 400;
-    config.num_timesteps = 4;
-    Simulation::new(config)
-        .run_to_catalog(&mut catalog, Some(&Binning::EqualWidth { bins: 16 }))
-        .unwrap();
-    (Arc::new(catalog), dir)
-}
+use vdx_server::{parse_stats, testkit, Client, IoMode, ServerConfig};
 
 /// Assert one Prometheus text-exposition line is well-formed: either a
 /// `# HELP`/`# TYPE` comment or a `name{labels} value` sample whose value
@@ -67,102 +48,101 @@ fn scrapers_and_queries_coexist_without_tearing_threaded() {
     scrapers_and_queries_coexist_without_tearing(IoMode::Threaded, "mixed_thr");
 }
 
+/// One query client's round: SELECT / HIST / REFINE-shaped mixed load, some
+/// of it erroring on purpose so error counters move too.
+fn query_round(client: &mut Client, q: usize, i: usize) {
+    let step = (q + i) % 4;
+    let reply = match i % 4 {
+        0 => client
+            .request(&format!("SELECT\t{step}\tpx > 0 && y > 0"))
+            .unwrap(),
+        1 => client.request(&format!("HIST\t{step}\tpx\t16")).unwrap(),
+        2 => client
+            .request(&format!("SELECT\t{step}\tpx > {}e8", i % 7))
+            .unwrap(),
+        _ => client.request("SELECT\t99\tpx > 0").unwrap(), // ERR
+    };
+    assert!(
+        reply.starts_with("OK\t") || reply.starts_with("ERR\t"),
+        "{reply:?}"
+    );
+}
+
+/// One scraper client's round: STATS / METRICS / TRACE LAST, checking its
+/// own monotonic counter floors never regress.
+fn scraper_round(client: &mut Client, s: usize, i: usize, floor: &mut [u64]) {
+    let monotonic = ["select_count", "select_errors", "meta_count", "evaluations"];
+    match (s + i) % 3 {
+        0 => {
+            let stats = parse_stats(&client.request("STATS").unwrap());
+            assert!(
+                stats["inflight_requests"].parse::<i64>().unwrap() >= 1,
+                "the STATS request itself is in flight"
+            );
+            for (slot, key) in floor.iter_mut().zip(monotonic) {
+                let v = stats[key].parse::<u64>().unwrap();
+                assert!(v >= *slot, "{key} regressed: {v} < {slot}");
+                *slot = v;
+            }
+        }
+        1 => {
+            let lines = client.metrics().unwrap();
+            assert!(!lines.is_empty());
+            for line in &lines {
+                assert_exposition_line(line);
+            }
+        }
+        _ => {
+            // With other clients racing, LAST may name any request — or
+            // nothing at all in the opening instants before the first one
+            // finishes. Only the shape is deterministic here.
+            let reply = client.request("TRACE\tLAST").unwrap();
+            if reply.starts_with("OK\tTRACE\t") {
+                assert!(reply.contains("request "), "{reply:?}");
+            } else {
+                assert!(reply.starts_with("ERR\t"), "{reply:?}");
+            }
+        }
+    }
+}
+
 fn scrapers_and_queries_coexist_without_tearing(io_mode: IoMode, tag: &str) {
-    let (catalog, dir) = fixture(tag);
-    let server = Server::bind(
-        catalog,
-        "127.0.0.1:0",
+    let server = testkit::spawn_tiny_server(
+        tag,
+        400,
+        4,
+        16,
         ServerConfig {
             workers: 8,
             io_mode,
             ..Default::default()
         },
-    )
-    .unwrap();
-    let (handle, join) = server.spawn();
-    let addr = handle.addr();
+    );
+    let addr = server.addr();
 
     const ROUNDS: usize = 30;
-    std::thread::scope(|scope| {
-        // 4 query clients: SELECT / HIST / REFINE-shaped mixed load, some of
-        // it erroring on purpose so error counters move too.
-        for q in 0..4usize {
-            scope.spawn(move || {
-                let mut client = Client::connect(addr).unwrap();
-                for i in 0..ROUNDS {
-                    let step = (q + i) % 4;
-                    let reply = match i % 4 {
-                        0 => client
-                            .request(&format!("SELECT\t{step}\tpx > 0 && y > 0"))
-                            .unwrap(),
-                        1 => client.request(&format!("HIST\t{step}\tpx\t16")).unwrap(),
-                        2 => client
-                            .request(&format!("SELECT\t{step}\tpx > {}e8", i % 7))
-                            .unwrap(),
-                        _ => client.request("SELECT\t99\tpx > 0").unwrap(), // ERR
-                    };
-                    assert!(
-                        reply.starts_with("OK\t") || reply.starts_with("ERR\t"),
-                        "{reply:?}"
-                    );
-                }
-                assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
-            });
-        }
-        // 3 scraper clients: STATS / METRICS / TRACE LAST, concurrently with
-        // the queries above, each checking its own counters never regress.
-        for s in 0..3usize {
-            scope.spawn(move || {
-                let mut client = Client::connect(addr).unwrap();
-                let monotonic = ["select_count", "select_errors", "meta_count", "evaluations"];
-                let mut floor = vec![0u64; monotonic.len()];
-                for i in 0..ROUNDS {
-                    match (s + i) % 3 {
-                        0 => {
-                            let stats = parse_stats(&client.request("STATS").unwrap());
-                            assert!(
-                                stats["inflight_requests"].parse::<i64>().unwrap() >= 1,
-                                "the STATS request itself is in flight"
-                            );
-                            for (slot, key) in floor.iter_mut().zip(monotonic) {
-                                let v = stats[key].parse::<u64>().unwrap();
-                                assert!(v >= *slot, "{key} regressed: {v} < {slot}");
-                                *slot = v;
-                            }
-                        }
-                        1 => {
-                            let lines = client.metrics().unwrap();
-                            assert!(!lines.is_empty());
-                            for line in &lines {
-                                assert_exposition_line(line);
-                            }
-                        }
-                        _ => {
-                            // With other clients racing, LAST may name any
-                            // request — or nothing at all in the opening
-                            // instants before the first one finishes. Only
-                            // the shape is deterministic here.
-                            let reply = client.request("TRACE\tLAST").unwrap();
-                            if reply.starts_with("OK\tTRACE\t") {
-                                assert!(reply.contains("request "), "{reply:?}");
-                            } else {
-                                assert!(reply.starts_with("ERR\t"), "{reply:?}");
-                            }
-                        }
-                    }
-                }
-                assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
-            });
+    // One shared fan-out: clients 0..4 run the mixed query load, clients
+    // 4..7 scrape the observability surfaces concurrently.
+    testkit::drive_clients(addr, 7, |n, client| {
+        if n < 4 {
+            for i in 0..ROUNDS {
+                query_round(client, n, i);
+            }
+        } else {
+            let mut floor = [0u64; 4];
+            for i in 0..ROUNDS {
+                scraper_round(client, n - 4, i, &mut floor);
+            }
         }
     });
 
     // (d) everything drained: the gauge pairs its inc/dec even across ERR
     // replies and concurrent scrapes.
-    assert_eq!(handle.state().metrics().inflight().get(), 0);
+    assert_eq!(server.state().metrics().inflight().get(), 0);
 
     // A quiesced replay is fully deterministic end to end: request → trace
     // by id → same structure on a second replay.
-    let state = handle.state();
+    let state = server.state();
     state.handle_line("SELECT\t0\tpx > 0 && y > 0");
     let first = state.tracer().last().unwrap();
     state.handle_line("SELECT\t0\tpx > 0 && y > 0");
@@ -184,8 +164,7 @@ fn scrapers_and_queries_coexist_without_tearing(io_mode: IoMode, tag: &str) {
     let body = client.metrics().unwrap().join("\n");
     assert!(body.contains(&format!("vdx_requests_total{{op=\"select\"}} {selects}")));
 
-    assert_eq!(client.request("SHUTDOWN").unwrap(), "OK\tBYE");
+    assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
     drop(client);
-    join.join().unwrap().unwrap();
-    std::fs::remove_dir_all(&dir).ok();
+    server.shutdown_and_clean();
 }
