@@ -95,6 +95,7 @@ fn main() {
     fig_store_warmstart(&args);
     fig_obs_overhead(&args);
     fig_connections(&args);
+    fig_cluster(&args);
     fig14_15_parallel_histograms(&args);
     fig16_17_parallel_tracking(&args);
     println!("\nCSV series written to {}/", args.out.display());
@@ -1024,6 +1025,137 @@ fn fig_connections(args: &Args) {
     )
     .unwrap();
     write_bench_json(&args.out, "BENCH_connections.json", &records).unwrap();
+}
+
+/// Scatter-gather cluster: one request script through a 1-shard and a
+/// 3-shard router topology (round-robin timestep partitioning, see
+/// `docs/CLUSTER.md`), timed per full script round. Before anything is
+/// timed, every router reply is oracle-asserted byte-identical to a
+/// single-process server over the same catalog — the distributed
+/// differential guarantee, enforced even here. The series to look at: the
+/// 3-shard script time vs the 1-shard one (per-step verbs spread across
+/// backends; TRACK fans out and merges), with the single-process server as
+/// the no-router baseline.
+fn fig_cluster(args: &Args) {
+    use vdx_server::testkit::spawn_cluster;
+    use vdx_server::{Client, ConnConfig, IoMode, RouterConfig, ServerConfig};
+
+    println!("\n== Cluster scatter-gather: 1 vs 3 shards behind the router ==");
+    let per_step = (args.particles / 16).max(5_000);
+    let timesteps = args.timesteps.clamp(3, 6);
+    let rounds = args.samples.max(3);
+
+    let mut script: Vec<String> = vec!["INFO".to_string(), "TRACK\t1,2,3,4,5,6,7,8".to_string()];
+    for step in 0..timesteps {
+        script.push(format!("SELECT\t{step}\tpx > 0 && x > 0"));
+        script.push(format!("HIST\t{step}\tpx\t64"));
+    }
+
+    println!(
+        "{:>12} {:>14} {:>14} {:>8}",
+        "topology", "median_s", "mean_s", "rounds"
+    );
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for shards in [1usize, 3] {
+        let cluster = spawn_cluster(
+            &format!("figcluster_{shards}"),
+            per_step,
+            timesteps,
+            32,
+            shards,
+            1,
+            ServerConfig {
+                workers: 4,
+                io_mode: IoMode::Async,
+                ..Default::default()
+            },
+            RouterConfig {
+                io_mode: IoMode::Async,
+                conn: ConnConfig {
+                    workers: 4,
+                    ..Default::default()
+                },
+                health_interval_ms: 0,
+                ..Default::default()
+            },
+        );
+
+        // Oracle first (also warms every backend's dataset cache): the
+        // sharded answer must be byte-identical to the single process.
+        let oracle = cluster.spawn_oracle(ServerConfig {
+            workers: 4,
+            io_mode: IoMode::Async,
+            ..Default::default()
+        });
+        let mut routed = Client::connect(cluster.addr()).expect("connect router");
+        let mut single = Client::connect(oracle.addr()).expect("connect oracle");
+        for line in &script {
+            let want = single.request(line).expect("oracle request");
+            assert!(want.starts_with("OK\t"), "{line:?} -> {want}");
+            let got = routed.request(line).expect("routed request");
+            assert_eq!(got, want, "{shards}-shard router changed bytes: {line:?}");
+        }
+
+        // Baseline once: the same script straight at the single server.
+        if shards == 1 {
+            let (bytes, stats) = time_stats(rounds, || -> usize {
+                script
+                    .iter()
+                    .map(|r| single.request(r).unwrap().len())
+                    .sum()
+            });
+            assert!(bytes > 0);
+            println!(
+                "{:>12} {:>14.6} {:>14.6} {:>8}",
+                "single", stats.median_s, stats.mean_s, rounds
+            );
+            rows.push(format!("single,0,{},{}", stats.median_s, stats.mean_s));
+            records.push(BenchRecord::new("cluster_single_baseline", 0, stats));
+        }
+        assert_eq!(single.request("QUIT").unwrap(), "OK\tBYE");
+        drop(single);
+        oracle.shutdown_and_clean();
+
+        let (bytes, stats) = time_stats(rounds, || -> usize {
+            script
+                .iter()
+                .map(|r| routed.request(r).unwrap().len())
+                .sum()
+        });
+        assert!(bytes > 0);
+        let state = cluster.router.state();
+        assert!(state.forwards() > 0, "router forwarded nothing");
+        assert_eq!(state.failovers(), 0, "healthy run must not fail over");
+        println!(
+            "{:>12} {:>14.6} {:>14.6} {:>8}",
+            format!("{shards}-shard"),
+            stats.median_s,
+            stats.mean_s,
+            rounds
+        );
+        rows.push(format!(
+            "router,{shards},{},{}",
+            stats.median_s, stats.mean_s
+        ));
+        records.push(BenchRecord::new(
+            format!("cluster_{shards}shard_script"),
+            shards,
+            stats,
+        ));
+
+        assert_eq!(routed.request("QUIT").unwrap(), "OK\tBYE");
+        drop(routed);
+        cluster.shutdown_and_clean();
+    }
+    write_csv(
+        &args.out,
+        "cluster_scatter.csv",
+        "topology,shards,median_s,mean_s",
+        &rows,
+    )
+    .unwrap();
+    write_bench_json(&args.out, "BENCH_cluster_scatter.json", &records).unwrap();
 }
 
 /// Figures 14 and 15: parallel histogram computation times and speedups.

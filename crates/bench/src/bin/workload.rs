@@ -11,9 +11,18 @@
 //! cargo run --release -p vdx-bench --bin vdx-workload -- \
 //!     [--addr HOST:PORT | --particles N --timesteps N --io-mode async|threaded \
 //!      --workers N --queue-depth N] \
+//!     [--shards N [--replicas R]] \
 //!     [--sessions N] [--arrival-rps F] [--think-ms F] [--seed N] \
 //!     [--mix B:D:T] [--out DIR] [--json NAME]
 //! ```
+//!
+//! With `--shards N` the harness self-hosts a sharded cluster instead of a
+//! single server: N replica groups of R backends each behind a `vdx-router`
+//! coordinator (see `docs/CLUSTER.md`), and the sessions drive the router.
+//! Reconciliation still balances exactly against the *router's* STATS and
+//! METRICS — the router counts one client-facing request per session op
+//! regardless of how many backend requests the scatter-gather layer
+//! absorbed, so the same client==server identity holds on a cluster.
 //!
 //! Exit status: `0` all SLOs pass and counts reconcile; `1` an SLO was
 //! violated; `2` client/server counts diverged or the run itself failed.
@@ -25,7 +34,8 @@ use std::time::Duration;
 
 use vdx_bench::catalog_workload;
 use vdx_bench::workload::{self, SessionMix, SessionSpace, SloSet, WorkloadConfig};
-use vdx_server::{Client, IoMode, Server, ServerConfig};
+use vdx_server::testkit::spawn_cluster;
+use vdx_server::{Client, ConnConfig, IoMode, RouterConfig, Server, ServerConfig};
 
 struct Args {
     addr: Option<SocketAddr>,
@@ -34,6 +44,8 @@ struct Args {
     io_mode: IoMode,
     workers: Option<usize>,
     queue_depth: usize,
+    shards: usize,
+    replicas: usize,
     sessions: usize,
     arrival_rps: f64,
     think_ms: f64,
@@ -74,6 +86,8 @@ fn parse_args() -> Args {
         queue_depth: get("--queue-depth")
             .and_then(|v| v.parse().ok())
             .unwrap_or(1024),
+        shards: get("--shards").and_then(|v| v.parse().ok()).unwrap_or(0),
+        replicas: get("--replicas").and_then(|v| v.parse().ok()).unwrap_or(1),
         sessions: get("--sessions").and_then(|v| v.parse().ok()).unwrap_or(40),
         arrival_rps: get("--arrival-rps")
             .and_then(|v| v.parse().ok())
@@ -112,14 +126,15 @@ fn main() {
     // Self-host unless pointed at an external server. In threaded io-mode a
     // worker blocks per connection, so the pool must cover every concurrent
     // session plus the harness's own control/scraper connections.
+    let workers = args.workers.unwrap_or(match args.io_mode {
+        IoMode::Async => 4,
+        IoMode::Threaded => args.sessions + 4,
+    });
     let mut hosted = None;
-    let addr = match args.addr {
-        Some(addr) => addr,
-        None => {
-            let workers = args.workers.unwrap_or(match args.io_mode {
-                IoMode::Async => 4,
-                IoMode::Threaded => args.sessions + 4,
-            });
+    let mut hosted_cluster = None;
+    let addr = match (args.addr, args.shards) {
+        (Some(addr), _) => addr,
+        (None, 0) => {
             let (catalog, _dir) = catalog_workload("workload", args.particles, args.timesteps);
             let server = Server::bind(
                 Arc::new(catalog),
@@ -137,6 +152,36 @@ fn main() {
             hosted = Some((handle, join));
             addr
         }
+        (None, shards) => {
+            // Cluster topology: N shard groups of R replicas behind a
+            // router; the sessions (and the reconciliation) talk only to
+            // the router.
+            let cluster = spawn_cluster(
+                "workload_cluster",
+                args.particles,
+                args.timesteps,
+                32,
+                shards,
+                args.replicas.max(1),
+                ServerConfig {
+                    workers: 4,
+                    io_mode: IoMode::Async,
+                    ..Default::default()
+                },
+                RouterConfig {
+                    io_mode: args.io_mode,
+                    conn: ConnConfig {
+                        workers,
+                        queue_depth: args.queue_depth,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            let addr = cluster.addr();
+            hosted_cluster = Some(cluster);
+            addr
+        }
     };
 
     let config = WorkloadConfig {
@@ -147,8 +192,13 @@ fn main() {
         seed: args.seed,
         space: SessionSpace::for_steps(discover_steps(addr)),
     };
+    let topology = match (args.addr, args.shards) {
+        (Some(_), _) => "external".to_string(),
+        (None, 0) => "single".to_string(),
+        (None, shards) => format!("{shards}x{} cluster", args.replicas.max(1)),
+    };
     println!(
-        "# vdx-workload: {} sessions @ {}/s (mix {}:{}:{}), think {}ms, seed {}, io_mode {}, addr {addr}",
+        "# vdx-workload: {} sessions @ {}/s (mix {}:{}:{}), think {}ms, seed {}, io_mode {}, topology {topology}, addr {addr}",
         config.sessions,
         config.arrival_rps,
         config.mix.browse,
@@ -181,6 +231,16 @@ fn main() {
     if let Some((handle, join)) = hosted {
         handle.shutdown();
         join.join().expect("server run loop").expect("server exit");
+    }
+    if let Some(cluster) = hosted_cluster {
+        println!(
+            "# cluster: forwards={} fanouts={} failovers={} shard_unavailable={}",
+            cluster.router.state().forwards(),
+            cluster.router.state().fanouts(),
+            cluster.router.state().failovers(),
+            cluster.router.state().shard_unavailable(),
+        );
+        cluster.shutdown_and_clean();
     }
 
     if let Err(e) = outcome.reconciled() {

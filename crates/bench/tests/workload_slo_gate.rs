@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use vdx_bench::workload::{self, SessionMix, SessionSpace, SloSet, WorkloadConfig};
 use vdx_server::testkit;
-use vdx_server::{parse_stats, Client, IoMode, ServerConfig};
+use vdx_server::{parse_stats, Client, ConnConfig, IoMode, RouterConfig, ServerConfig};
 
 fn config(
     sessions: usize,
@@ -77,6 +77,87 @@ fn healthy_server_passes_the_gate_and_reconciles_exactly() {
     assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
     drop(client);
     server.shutdown_and_clean();
+}
+
+/// The harness against a sharded cluster: the router's client-facing
+/// accounting must reconcile exactly (one count per session op, however
+/// many backend requests the scatter-gather layer absorbed), and a healthy
+/// 3-shard topology passes the same gate a single server does.
+#[test]
+fn sharded_cluster_passes_the_gate_and_reconciles_exactly() {
+    let cluster = testkit::spawn_cluster(
+        "slo_cluster",
+        400,
+        3,
+        16,
+        3,
+        2,
+        ServerConfig {
+            workers: 4,
+            io_mode: IoMode::Async,
+            ..Default::default()
+        },
+        RouterConfig {
+            io_mode: IoMode::Async,
+            conn: ConnConfig {
+                workers: 4,
+                ..Default::default()
+            },
+            health_interval_ms: 0,
+            ..Default::default()
+        },
+    );
+
+    let cfg = config(12, 200.0, Duration::from_millis(1), 7, 3);
+    let outcome = workload::run(cluster.addr(), &cfg).expect("cluster run");
+
+    // The identity that makes cluster reconciliation meaningful: the
+    // router counted exactly the client-facing ops, not its own backend
+    // traffic — which was strictly larger than the forwarded op count
+    // because TRACK fans out to all 3 groups.
+    outcome.reconciled().expect("cluster counts must reconcile");
+    assert!(outcome.total_ok() > 0);
+    assert_eq!(outcome.total_errors(), 0);
+    assert_eq!(outcome.total_busy(), 0);
+    let state = cluster.router.state();
+    // Exact backend-request identity: per-step verbs forward once, TRACK
+    // and INFO fan out to all 3 groups, PING is answered at the router.
+    let op_ok = |name: &str| -> u64 {
+        outcome
+            .ops
+            .iter()
+            .find(|o| o.op == name)
+            .map(|o| o.ok)
+            .unwrap_or(0)
+    };
+    let expected_forwards =
+        op_ok("select") + op_ok("refine") + op_ok("hist") + 3 * (op_ok("track") + op_ok("info"));
+    assert_eq!(
+        state.forwards(),
+        expected_forwards,
+        "router backend-request accounting diverged from the session mix"
+    );
+    assert_eq!(
+        state.fanouts(),
+        op_ok("track") + op_ok("info"),
+        "tracker sessions fan out"
+    );
+    assert!(state.fanouts() > 0);
+    assert_eq!(state.failovers(), 0);
+
+    let report = workload::evaluate(&SloSet::errors_only(), &outcome);
+    assert!(report.pass);
+    assert!(report.render().contains("SLO VERDICT: PASS"));
+
+    // Cluster STATS agree over the wire.
+    let mut client = Client::connect(cluster.addr()).unwrap();
+    let stats = parse_stats(&client.request("STATS").unwrap());
+    assert_eq!(stats["busy_rejections"].parse::<u64>().unwrap(), 0);
+    assert_eq!(stats["cluster_degraded"].parse::<u64>().unwrap(), 0);
+    assert_eq!(stats["cluster_groups"].parse::<u64>().unwrap(), 3);
+    assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
+    drop(client);
+    cluster.shutdown_and_clean();
 }
 
 #[test]

@@ -378,6 +378,83 @@ impl Registry {
         h
     }
 
+    /// Find an already-registered entry with exactly this name and label
+    /// set, for the `*_or_existing` registration variants.
+    fn find_existing<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        pick: impl Fn(&Instrument) -> Option<T>,
+        want: &str,
+    ) -> Option<T> {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let entry = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k0, v0), (k1, v1))| k0 == k1 && v0 == v1)
+        })?;
+        match pick(&entry.instrument) {
+            Some(found) => Some(found),
+            None => panic!(
+                "metric {name:?} already registered as a {}, not a {want}",
+                entry.instrument.type_name()
+            ),
+        }
+    }
+
+    /// Like [`Registry::counter`], but if a counter with the same name and
+    /// labels is already registered, return the existing one instead of
+    /// panicking. Re-registration is legitimate when an instrumented
+    /// topology is rebuilt at runtime (e.g. a cluster shard-map reload
+    /// re-deriving per-shard instruments): tallies keep accumulating in the
+    /// one registered counter.
+    pub fn counter_or_existing(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        if let Some(c) = self.find_existing(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            "counter",
+        ) {
+            return c;
+        }
+        self.counter(name, help, labels)
+    }
+
+    /// Like [`Registry::summary`], but if a summary with the same name and
+    /// labels is already registered, return the existing histogram instead
+    /// of panicking (see [`Registry::counter_or_existing`] for when that is
+    /// legitimate).
+    pub fn summary_or_existing(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<LatencyHistogram> {
+        if let Some(h) = self.find_existing(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Summary(h) => Some(h.clone()),
+                _ => None,
+            },
+            "summary",
+        ) {
+            return h;
+        }
+        self.summary(name, help, labels)
+    }
+
     /// Register a snapshot closure rendered as a counter. Use for monotonic
     /// statistics that already live elsewhere as atomics (cache hit counts,
     /// pruning tallies) — the closure is called at every render.
@@ -703,6 +780,41 @@ mod tests {
         c.inc();
         let text = r.render();
         assert!(text.contains(r#"esc_total{q="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn summary_or_existing_reuses_the_registered_histogram() {
+        let r = Registry::new();
+        let a = r.summary_or_existing("reload_latency_us", "Latency.", &[("shard", "0")]);
+        a.record(Duration::from_micros(10));
+        let b = r.summary_or_existing("reload_latency_us", "Latency.", &[("shard", "0")]);
+        assert!(Arc::ptr_eq(&a, &b), "same (name, labels) → same histogram");
+        assert_eq!(b.count(), 1, "samples survive re-registration");
+        let other = r.summary_or_existing("reload_latency_us", "Latency.", &[("shard", "1")]);
+        assert!(!Arc::ptr_eq(&a, &other), "different labels → new histogram");
+        assert_eq!(
+            r.render().matches("# TYPE reload_latency_us").count(),
+            1,
+            "still one family"
+        );
+    }
+
+    #[test]
+    fn counter_or_existing_reuses_the_registered_counter() {
+        let r = Registry::new();
+        let a = r.counter_or_existing("reload_total", "Tally.", &[("shard", "0")]);
+        a.add(3);
+        let b = r.counter_or_existing("reload_total", "Tally.", &[("shard", "0")]);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(b.get(), 3, "tallies survive re-registration");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a summary")]
+    fn summary_or_existing_rejects_type_mismatch() {
+        let r = Registry::new();
+        let _ = r.counter("kindful_total", "Counter.", &[]);
+        let _ = r.summary_or_existing("kindful_total", "Summary?", &[]);
     }
 
     #[test]

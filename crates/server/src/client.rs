@@ -29,6 +29,25 @@ impl Client {
         })
     }
 
+    /// Connect with a deadline on the connect itself and on every subsequent
+    /// read and write (`0` leaves reads/writes unbounded). The cluster
+    /// router uses this for its backend connections so a dead shard fails
+    /// fast instead of hanging a scatter-gather fan-out.
+    pub fn connect_with_timeout(
+        addr: std::net::SocketAddr,
+        timeout: std::time::Duration,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        let io_timeout = (!timeout.is_zero()).then_some(timeout);
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
     /// Read one reply line under the reply-size cap.
     fn read_reply_line(&mut self) -> std::io::Result<String> {
         match framing::read_line_capped(&mut self.reader, framing::MAX_REPLY_LINE_BYTES)? {

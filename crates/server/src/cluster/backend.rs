@@ -1,0 +1,171 @@
+//! Backend replica connections: a bounded pool of protocol clients per
+//! replica, plus the health flag failover decisions read.
+//!
+//! Each [`Replica`] owns a small stack of idle [`Client`] connections and a
+//! counting semaphore bounding its in-flight requests — the "bounded
+//! per-backend pipeline" of the scatter-gather design: a slow shard can
+//! stall at most `max_inflight` router workers, not the whole router.
+//! Connections are created lazily with a connect/read/write deadline, reused
+//! on success, and dropped on any transport error (the next request opens a
+//! fresh one), so a replica restart heals without explicit reconnect logic.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::client::Client;
+
+/// A tiny counting semaphore (std has none; the workspace takes no external
+/// dependencies).
+#[derive(Debug)]
+struct Semaphore {
+    permits: Mutex<usize>,
+    available: Condvar,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits.max(1)),
+            available: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut permits = self.permits.lock().expect("semaphore poisoned");
+        while *permits == 0 {
+            permits = self.available.wait(permits).expect("semaphore poisoned");
+        }
+        *permits -= 1;
+    }
+
+    fn release(&self) {
+        *self.permits.lock().expect("semaphore poisoned") += 1;
+        self.available.notify_one();
+    }
+}
+
+/// One backend replica: its address, health, and bounded connection pool.
+#[derive(Debug)]
+pub(crate) struct Replica {
+    addr: SocketAddr,
+    timeout: Duration,
+    healthy: AtomicBool,
+    idle: Mutex<Vec<Client>>,
+    inflight: Semaphore,
+}
+
+impl Replica {
+    /// A replica handle; no connection is opened until the first request.
+    pub(crate) fn new(addr: SocketAddr, timeout: Duration, max_inflight: usize) -> Self {
+        Self {
+            addr,
+            timeout,
+            healthy: AtomicBool::new(true),
+            idle: Mutex::new(Vec::new()),
+            inflight: Semaphore::new(max_inflight),
+        }
+    }
+
+    /// Last known health, as set by request outcomes and the prober.
+    pub(crate) fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Record a health observation; returns `true` if the value changed.
+    pub(crate) fn set_healthy(&self, healthy: bool) -> bool {
+        self.healthy.swap(healthy, Ordering::Relaxed) != healthy
+    }
+
+    /// Send one request line and read its reply, under the in-flight bound.
+    ///
+    /// On success the connection returns to the idle pool; on any transport
+    /// error it is dropped and the error surfaces to the failover logic.
+    /// `QUIT`/`SHUTDOWN` lines must not pass through here — the router never
+    /// forwards connection-lifecycle verbs.
+    pub(crate) fn request(&self, line: &str) -> std::io::Result<String> {
+        self.inflight.acquire();
+        let result = self.request_inner(line);
+        self.inflight.release();
+        result
+    }
+
+    fn request_inner(&self, line: &str) -> std::io::Result<String> {
+        let pooled = self.idle.lock().expect("pool poisoned").pop();
+        let mut client = match pooled {
+            Some(client) => client,
+            None => Client::connect_with_timeout(self.addr, self.timeout)?,
+        };
+        match client.request(line) {
+            Ok(reply) => {
+                self.idle.lock().expect("pool poisoned").push(client);
+                Ok(reply)
+            }
+            Err(e) => Err(e), // drop the broken connection
+        }
+    }
+
+    /// Probe liveness with `PING` on a fresh connection (the prober must
+    /// not consume pooled connections a request could be using).
+    pub(crate) fn probe(&self) -> bool {
+        let Ok(mut client) = Client::connect_with_timeout(self.addr, self.timeout) else {
+            return false;
+        };
+        matches!(client.request("PING").as_deref(), Ok("OK\tPONG"))
+    }
+
+    /// Drop every idle pooled connection (used on shard-map reload so stale
+    /// sockets to retired backends do not linger).
+    pub(crate) fn drain(&self) {
+        self.idle.lock().expect("pool poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn semaphore_bounds_concurrent_holders() {
+        let sem = Arc::new(Semaphore::new(2));
+        let peak = Arc::new(Mutex::new((0usize, 0usize))); // (current, max)
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let sem = Arc::clone(&sem);
+                let peak = Arc::clone(&peak);
+                scope.spawn(move || {
+                    sem.acquire();
+                    {
+                        let mut p = peak.lock().unwrap();
+                        p.0 += 1;
+                        p.1 = p.1.max(p.0);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                    peak.lock().unwrap().0 -= 1;
+                    sem.release();
+                });
+            }
+        });
+        let (current, max) = *peak.lock().unwrap();
+        assert_eq!(current, 0);
+        assert!(max <= 2, "at most 2 concurrent holders, saw {max}");
+    }
+
+    #[test]
+    fn dead_replica_fails_fast_and_flags_health() {
+        // Bind-then-drop yields an address nothing listens on.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let replica = Replica::new(addr, Duration::from_millis(200), 4);
+        assert!(replica.is_healthy(), "assumed healthy until proven dead");
+        assert!(replica.request("PING").is_err());
+        assert!(!replica.probe());
+        assert!(replica.set_healthy(false), "transition noticed");
+        assert!(!replica.set_healthy(false), "idempotent");
+        assert!(!replica.is_healthy());
+    }
+}

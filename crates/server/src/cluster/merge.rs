@@ -1,0 +1,198 @@
+//! Exact reply merging for scatter-gather verbs.
+//!
+//! The router's correctness contract is byte-identity with a single-process
+//! server over the same catalog (pinned by `tests/cluster_differential.rs`),
+//! and shard maps assign each timestep to exactly one group — so merges are
+//! pure arithmetic over disjoint partials, never approximations:
+//!
+//! * `TRACK` — a particle's trace on one shard covers exactly that shard's
+//!   timesteps, so per-id point counts add and the id set is the sorted
+//!   union (the single server also emits traces sorted by id). `total_hits`
+//!   counts (id, timestep) matches, which also add across disjoint steps.
+//! * `INFO` — the step list is the sorted union of the shards' step lists.
+//! * `SAVE` / `WARM` — per-shard segment/byte (and warmed/timestep) tallies
+//!   add.
+//!
+//! Every merge takes the backend replies **in group order** and passes the
+//! first `ERR` reply through untouched — with identical catalogs behind
+//! every group, error bytes from group 0 match the single server's.
+
+use std::collections::BTreeMap;
+
+/// The first `ERR` reply (in group order), if any — scatter-gather verbs
+/// pass backend errors through rather than merging around them.
+fn first_err(replies: &[String]) -> Option<&String> {
+    replies.iter().find(|r| r.starts_with("ERR\t"))
+}
+
+/// Split an `OK\t<verb>\t…` reply into its payload fields after the verb.
+fn ok_fields<'a>(reply: &'a str, verb: &str) -> Result<Vec<&'a str>, String> {
+    let prefix = format!("OK\t{verb}\t");
+    reply
+        .strip_prefix(&prefix)
+        .map(|rest| rest.split('\t').collect())
+        .ok_or_else(|| format!("bad backend {verb} reply: {reply:?}"))
+}
+
+fn parse_u64(field: &str, what: &str) -> Result<u64, String> {
+    field
+        .parse::<u64>()
+        .map_err(|_| format!("bad backend {what}: {field:?}"))
+}
+
+/// Merge `OK\tTRACK\t<traces>\t<total hits>\t<id:points csv>` partials:
+/// sorted-union of ids with per-id point counts and total hits summed.
+pub(crate) fn merge_track(replies: &[String]) -> Result<String, String> {
+    if let Some(err) = first_err(replies) {
+        return Ok(err.clone());
+    }
+    let mut points_by_id: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut total_hits = 0u64;
+    for reply in replies {
+        let fields = ok_fields(reply, "TRACK")?;
+        if fields.len() != 3 {
+            return Err(format!("bad backend TRACK reply: {reply:?}"));
+        }
+        parse_u64(fields[0], "TRACK trace count")?;
+        total_hits += parse_u64(fields[1], "TRACK hit count")?;
+        if fields[2].is_empty() {
+            continue;
+        }
+        for pair in fields[2].split(',') {
+            let (id, points) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad backend TRACK trace: {pair:?}"))?;
+            let id = parse_u64(id, "TRACK id")?;
+            let points = parse_u64(points, "TRACK point count")?;
+            *points_by_id.entry(id).or_insert(0) += points;
+        }
+    }
+    let traces: Vec<String> = points_by_id
+        .iter()
+        .map(|(id, points)| format!("{id}:{points}"))
+        .collect();
+    Ok(format!(
+        "OK\tTRACK\t{}\t{total_hits}\t{}",
+        points_by_id.len(),
+        traces.join(",")
+    ))
+}
+
+/// Merge `OK\tINFO\t<timesteps>\t<steps csv>` partials: sorted union of the
+/// shards' (disjoint) step lists.
+pub(crate) fn merge_info(replies: &[String]) -> Result<String, String> {
+    if let Some(err) = first_err(replies) {
+        return Ok(err.clone());
+    }
+    let mut steps: Vec<u64> = Vec::new();
+    for reply in replies {
+        let fields = ok_fields(reply, "INFO")?;
+        if fields.len() != 2 {
+            return Err(format!("bad backend INFO reply: {reply:?}"));
+        }
+        parse_u64(fields[0], "INFO step count")?;
+        if fields[1].is_empty() {
+            continue;
+        }
+        for step in fields[1].split(',') {
+            steps.push(parse_u64(step, "INFO step")?);
+        }
+    }
+    steps.sort_unstable();
+    steps.dedup();
+    let csv: Vec<String> = steps.iter().map(|s| s.to_string()).collect();
+    Ok(format!("OK\tINFO\t{}\t{}", steps.len(), csv.join(",")))
+}
+
+/// Merge two-field numeric replies (`OK\tSAVE\t<segments>\t<bytes>`,
+/// `OK\tWARM\t<warmed>\t<timesteps>`) by summing both fields.
+pub(crate) fn merge_sum2(verb: &str, replies: &[String]) -> Result<String, String> {
+    if let Some(err) = first_err(replies) {
+        return Ok(err.clone());
+    }
+    let mut a = 0u64;
+    let mut b = 0u64;
+    for reply in replies {
+        let fields = ok_fields(reply, verb)?;
+        if fields.len() != 2 {
+            return Err(format!("bad backend {verb} reply: {reply:?}"));
+        }
+        a += parse_u64(fields[0], verb)?;
+        b += parse_u64(fields[1], verb)?;
+    }
+    Ok(format!("OK\t{verb}\t{a}\t{b}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn track_merges_sorted_union_with_summed_points_and_hits() {
+        let merged = merge_track(&s(&[
+            "OK\tTRACK\t2\t3\t5:2,9:1",
+            "OK\tTRACK\t2\t2\t1:1,5:1",
+            "OK\tTRACK\t0\t0\t",
+        ]))
+        .unwrap();
+        assert_eq!(merged, "OK\tTRACK\t3\t5\t1:1,5:3,9:1");
+    }
+
+    #[test]
+    fn track_of_one_shard_is_identity() {
+        let one = "OK\tTRACK\t2\t3\t5:2,9:1".to_string();
+        assert_eq!(merge_track(std::slice::from_ref(&one)).unwrap(), one);
+        assert_eq!(
+            merge_track(&s(&["OK\tTRACK\t0\t0\t"])).unwrap(),
+            "OK\tTRACK\t0\t0\t"
+        );
+    }
+
+    #[test]
+    fn info_merges_a_sorted_step_union() {
+        let merged = merge_info(&s(&[
+            "OK\tINFO\t2\t0,3",
+            "OK\tINFO\t2\t1,4",
+            "OK\tINFO\t1\t2",
+        ]))
+        .unwrap();
+        assert_eq!(merged, "OK\tINFO\t5\t0,1,2,3,4");
+    }
+
+    #[test]
+    fn sum_merges_add_both_fields() {
+        assert_eq!(
+            merge_sum2("SAVE", &s(&["OK\tSAVE\t2\t100", "OK\tSAVE\t1\t50"])).unwrap(),
+            "OK\tSAVE\t3\t150"
+        );
+        assert_eq!(
+            merge_sum2("WARM", &s(&["OK\tWARM\t2\t2", "OK\tWARM\t3\t3"])).unwrap(),
+            "OK\tWARM\t5\t5"
+        );
+    }
+
+    #[test]
+    fn first_backend_err_passes_through_untouched() {
+        let replies = s(&[
+            "ERR\tno store configured (start the server with --store-dir)",
+            "ERR\tsomething else",
+        ]);
+        assert_eq!(merge_sum2("SAVE", &replies).unwrap(), replies[0]);
+        assert_eq!(
+            merge_track(&s(&["OK\tTRACK\t0\t0\t", "ERR\tboom"])).unwrap(),
+            "ERR\tboom"
+        );
+    }
+
+    #[test]
+    fn malformed_backend_replies_are_typed_errors() {
+        assert!(merge_track(&s(&["OK\tSELECT\t0\t"])).is_err());
+        assert!(merge_track(&s(&["OK\tTRACK\t1\t1\t5"])).is_err());
+        assert!(merge_info(&s(&["OK\tINFO\tfrog\t"])).is_err());
+        assert!(merge_sum2("WARM", &s(&["OK\tWARM\t1"])).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Multi-node scale-out: a scatter-gather router over sharded backends.
+//!
+//! A cluster is N replica groups of ordinary `vdx-server` processes, each
+//! group owning a disjoint set of timesteps, fronted by one [`Router`]
+//! that speaks the same wire protocol as a single server. Clients cannot
+//! tell the difference: the distributed differential suite
+//! (`tests/cluster_differential.rs`) pins every routed reply byte-identical
+//! to a single-process server over the same catalog.
+//!
+//! The pieces:
+//!
+//! * [`shard_map`] — the deterministic timestep → replica-group assignment,
+//!   parsed from a tiny TOML file and validated for disjoint ownership.
+//! * [`Router`] / [`RouterState`] — the coordinator: per-step verbs forward
+//!   to the owning group, `TRACK`/`INFO`/`SAVE`/`WARM` fan out to every
+//!   group and merge exactly, replica failures fail over within the group.
+//! * `backend` (private) — bounded per-replica connection pools with
+//!   health flags.
+//! * `merge` (private) — the exact merge arithmetic for scatter-gather
+//!   partials.
+//!
+//! Operational details — the shard map format, routing and merge
+//! semantics, the failover contract, and degraded mode — are documented
+//! in `docs/CLUSTER.md`.
+
+mod backend;
+mod merge;
+mod router;
+pub mod shard_map;
+
+pub use router::{Router, RouterConfig, RouterHandle, RouterState};
+pub use shard_map::{partition_steps, GroupSpec, ShardMap};

@@ -1,0 +1,300 @@
+//! The deterministic shard map: which replica group owns which timesteps.
+//!
+//! A shard map is a tiny TOML document — one `[[group]]` table per replica
+//! group, each listing the timesteps it owns and the addresses of its
+//! replicas:
+//!
+//! ```toml
+//! # vdx cluster shard map
+//! [[group]]
+//! steps = [0, 3]
+//! replicas = ["127.0.0.1:7001", "127.0.0.1:7101"]
+//!
+//! [[group]]
+//! steps = [1, 4]
+//! replicas = ["127.0.0.1:7002", "127.0.0.1:7102"]
+//! ```
+//!
+//! The parser is a hand-rolled subset reader (the workspace takes no
+//! external dependencies): `[[group]]` headers, `steps` as an integer
+//! array, `replicas` as a string array of socket addresses, `#` comments
+//! and blank lines. Validation rejects overlapping step ownership — with
+//! disjoint steps, scatter-gather merges are exact (see `docs/CLUSTER.md`).
+
+use std::net::SocketAddr;
+use std::path::Path;
+
+/// One replica group: a set of timesteps served by interchangeable
+/// replicas (each replica holds the group's full step set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSpec {
+    /// Timesteps this group owns (disjoint from every other group).
+    pub steps: Vec<usize>,
+    /// Replica addresses, in failover preference order.
+    pub replicas: Vec<SocketAddr>,
+}
+
+/// A validated cluster shard map: the ordered list of replica groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// The replica groups, in file order (group indexes are stable).
+    pub groups: Vec<GroupSpec>,
+}
+
+/// Deterministically partition `steps` across `n_groups` groups:
+/// round-robin over the sorted step list, so step *i* (in sorted order)
+/// lands in group `i % n_groups`. Used by the testkit and documented in
+/// `docs/CLUSTER.md` as the reference partitioning.
+pub fn partition_steps(steps: &[usize], n_groups: usize) -> Vec<Vec<usize>> {
+    let n_groups = n_groups.max(1);
+    let mut sorted: Vec<usize> = steps.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut groups = vec![Vec::new(); n_groups];
+    for (i, step) in sorted.into_iter().enumerate() {
+        groups[i % n_groups].push(step);
+    }
+    groups
+}
+
+impl ShardMap {
+    /// Parse and validate a shard map from TOML text.
+    pub fn parse(text: &str) -> Result<ShardMap, String> {
+        let mut groups: Vec<GroupSpec> = Vec::new();
+        let mut current: Option<GroupSpec> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[group]]" {
+                if let Some(group) = current.take() {
+                    groups.push(group);
+                }
+                current = Some(GroupSpec {
+                    steps: Vec::new(),
+                    replicas: Vec::new(),
+                });
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "line {lineno}: unknown table {line:?} (only [[group]] is recognized)"
+                ));
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {lineno}: expected `key = value`, got {line:?}"))?;
+            let group = current
+                .as_mut()
+                .ok_or_else(|| format!("line {lineno}: key outside a [[group]] table"))?;
+            match key.trim() {
+                "steps" => {
+                    group.steps = parse_int_array(value.trim())
+                        .map_err(|e| format!("line {lineno}: bad steps array: {e}"))?;
+                }
+                "replicas" => {
+                    group.replicas = parse_addr_array(value.trim())
+                        .map_err(|e| format!("line {lineno}: bad replicas array: {e}"))?;
+                }
+                other => {
+                    return Err(format!(
+                        "line {lineno}: unknown key {other:?} (want steps or replicas)"
+                    ));
+                }
+            }
+        }
+        if let Some(group) = current.take() {
+            groups.push(group);
+        }
+        let map = ShardMap { groups };
+        map.validate()?;
+        Ok(map)
+    }
+
+    /// Read and parse a shard map file.
+    pub fn load(path: &Path) -> Result<ShardMap, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read shard map {}: {e}", path.display()))?;
+        ShardMap::parse(&text)
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.groups.is_empty() {
+            return Err("shard map has no [[group]] tables".to_string());
+        }
+        let mut seen: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for (g, group) in self.groups.iter().enumerate() {
+            if group.replicas.is_empty() {
+                return Err(format!("group {g} has no replicas"));
+            }
+            for &step in &group.steps {
+                if let Some(owner) = seen.insert(step, g) {
+                    return Err(format!(
+                        "timestep {step} owned by both group {owner} and group {g}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The owning group index for `step`, if any group lists it.
+    pub fn group_for_step(&self, step: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.steps.contains(&step))
+    }
+
+    /// Total timesteps owned across every group.
+    pub fn total_steps(&self) -> usize {
+        self.groups.iter().map(|g| g.steps.len()).sum()
+    }
+
+    /// Total replica processes across every group.
+    pub fn total_replicas(&self) -> usize {
+        self.groups.iter().map(|g| g.replicas.len()).sum()
+    }
+
+    /// Render back to the TOML subset accepted by [`ShardMap::parse`]
+    /// (round-trips exactly; the testkit writes generated maps with this).
+    pub fn render(&self) -> String {
+        let mut out = String::from("# vdx cluster shard map\n");
+        for group in &self.groups {
+            out.push_str("\n[[group]]\n");
+            let steps: Vec<String> = group.steps.iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!("steps = [{}]\n", steps.join(", ")));
+            let replicas: Vec<String> = group.replicas.iter().map(|a| format!("\"{a}\"")).collect();
+            out.push_str(&format!("replicas = [{}]\n", replicas.join(", ")));
+        }
+        out
+    }
+}
+
+/// Drop a trailing `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `[1, 2, 3]` (or `[]`) into integers.
+fn parse_int_array(value: &str) -> Result<Vec<usize>, String> {
+    parse_array_items(value)?
+        .into_iter()
+        .map(|item| {
+            item.parse::<usize>()
+                .map_err(|_| format!("bad integer {item:?}"))
+        })
+        .collect::<Result<Vec<_>, _>>()
+}
+
+/// Parse `["127.0.0.1:7001", …]` into socket addresses.
+fn parse_addr_array(value: &str) -> Result<Vec<SocketAddr>, String> {
+    parse_array_items(value)?
+        .into_iter()
+        .map(|item| {
+            let inner = item
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("expected a quoted string, got {item:?}"))?;
+            inner
+                .parse::<SocketAddr>()
+                .map_err(|_| format!("bad socket address {inner:?}"))
+        })
+        .collect()
+}
+
+/// Split a `[a, b, c]` literal into trimmed item strings.
+fn parse_array_items(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got {value:?}"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    Ok(inner.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# vdx cluster shard map
+[[group]]
+steps = [0, 3]  # trailing comment
+replicas = ["127.0.0.1:7001", "127.0.0.1:7101"]
+
+[[group]]
+steps = [1, 4]
+replicas = ["127.0.0.1:7002"]
+
+[[group]]
+steps = [2]
+replicas = ["127.0.0.1:7003"]
+"#;
+
+    #[test]
+    fn parses_groups_steps_and_replicas() {
+        let map = ShardMap::parse(EXAMPLE).unwrap();
+        assert_eq!(map.groups.len(), 3);
+        assert_eq!(map.groups[0].steps, vec![0, 3]);
+        assert_eq!(map.groups[0].replicas.len(), 2);
+        assert_eq!(map.groups[1].replicas.len(), 1);
+        assert_eq!(map.total_steps(), 5);
+        assert_eq!(map.total_replicas(), 4);
+        assert_eq!(map.group_for_step(3), Some(0));
+        assert_eq!(map.group_for_step(2), Some(2));
+        assert_eq!(map.group_for_step(99), None);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let map = ShardMap::parse(EXAMPLE).unwrap();
+        let rendered = map.render();
+        assert_eq!(ShardMap::parse(&rendered).unwrap(), map);
+    }
+
+    #[test]
+    fn validation_rejects_bad_maps() {
+        assert!(ShardMap::parse("").unwrap_err().contains("no [[group]]"));
+        let overlap = "[[group]]\nsteps = [0, 1]\nreplicas = [\"127.0.0.1:1\"]\n\
+                       [[group]]\nsteps = [1]\nreplicas = [\"127.0.0.1:2\"]";
+        assert!(ShardMap::parse(overlap)
+            .unwrap_err()
+            .contains("timestep 1 owned by both"));
+        let no_replicas = "[[group]]\nsteps = [0]\nreplicas = []";
+        assert!(ShardMap::parse(no_replicas)
+            .unwrap_err()
+            .contains("no replicas"));
+        assert!(ShardMap::parse("steps = [0]")
+            .unwrap_err()
+            .contains("outside"));
+        assert!(
+            ShardMap::parse("[[group]]\nsteps = [frog]\nreplicas = [\"127.0.0.1:1\"]").is_err()
+        );
+        assert!(ShardMap::parse("[[group]]\nsteps = [0]\nreplicas = [\"nonsense\"]").is_err());
+        assert!(ShardMap::parse("[other]").is_err());
+        assert!(ShardMap::parse("[[group]]\nbogus = 3").is_err());
+    }
+
+    #[test]
+    fn partition_is_round_robin_over_sorted_steps() {
+        assert_eq!(
+            partition_steps(&[4, 0, 2, 1, 3], 3),
+            vec![vec![0, 3], vec![1, 4], vec![2]]
+        );
+        assert_eq!(partition_steps(&[0, 1], 1), vec![vec![0, 1]]);
+        assert_eq!(partition_steps(&[], 2), vec![Vec::new(), Vec::new()]);
+        // Duplicates collapse; zero groups clamps to one.
+        assert_eq!(partition_steps(&[1, 1], 0), vec![vec![1]]);
+    }
+}

@@ -12,10 +12,12 @@
 //!   connection's read buffer (incremental line framing via
 //!   [`framing::LineSplitter`]), write buffer, and pipeline queue.
 //! * **Workers** never touch sockets. They receive complete request lines
-//!   over an `mpsc` channel, run [`ServerState::handle_line`] — the same
+//!   over an `mpsc` channel, run [`LineService::handle_line`] — the same
 //!   entry point the threaded layer calls, which is what makes the two
 //!   modes byte-identical — and push the reply back to the reactor through
-//!   a completion channel plus a [`polling::Waker`].
+//!   a completion channel plus a [`polling::Waker`]. The loop is generic
+//!   over the [`LineService`], so the single-process server and the
+//!   cluster router share it unchanged.
 //!
 //! Scheduling and bounds:
 //!
@@ -59,7 +61,8 @@ use parking_lot::Mutex;
 use polling::{Event, Interest, Poller, Waker};
 
 use crate::framing::{self, LineRead, LineSplitter};
-use crate::server::{ServerConfig, ServerState};
+use crate::metrics::ConnMetrics;
+use crate::service::{ConnConfig, LineService};
 
 /// Token of the accept socket in the poller.
 const LISTENER_TOKEN: u64 = 0;
@@ -116,7 +119,7 @@ struct Conn {
     interest: Interest,
 }
 
-/// Limits copied out of [`ServerConfig`], normalized for the loop.
+/// Limits copied out of [`ConnConfig`], normalized for the loop.
 struct Limits {
     max_line: usize,
     idle: Option<Duration>,
@@ -128,7 +131,7 @@ struct Limits {
 }
 
 impl Limits {
-    fn from_config(config: &ServerConfig) -> Limits {
+    fn from_config(config: &ConnConfig) -> Limits {
         Limits {
             max_line: config.max_line_bytes,
             idle: (config.idle_timeout_ms > 0)
@@ -143,10 +146,10 @@ impl Limits {
     }
 }
 
-struct Reactor {
+struct Reactor<S: LineService> {
     poller: Poller,
     listener: TcpListener,
-    state: Arc<ServerState>,
+    state: Arc<S>,
     limits: Limits,
     conns: HashMap<u64, Conn>,
     next_token: u64,
@@ -157,11 +160,13 @@ struct Reactor {
 }
 
 /// Run the event loop until a graceful shutdown completes. This is the
-/// async-mode body of [`crate::Server::run`].
-pub(crate) fn run(
+/// async-mode body of [`crate::service::run_listener`] — generic over the
+/// [`LineService`], so the single-process server and the cluster router
+/// share one reactor implementation.
+pub(crate) fn run<S: LineService>(
     listener: TcpListener,
-    state: Arc<ServerState>,
-    config: &ServerConfig,
+    state: Arc<S>,
+    config: &ConnConfig,
 ) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let poller = Poller::new()?;
@@ -271,7 +276,7 @@ pub(crate) fn run(
     Ok(())
 }
 
-impl Reactor {
+impl<S: LineService> Reactor<S> {
     /// Accept every connection the listener has ready.
     fn accept_ready(&mut self) {
         loop {
@@ -336,7 +341,7 @@ impl Reactor {
                 Ok(n) => {
                     conn.last_activity = Instant::now();
                     conn.splitter.extend(&buf[..n]);
-                    if !extract_lines(conn, &self.state, self.limits.max_line) {
+                    if !extract_lines(conn, self.state.conn_metrics(), self.limits.max_line) {
                         break;
                     }
                     if conn.pending.len() >= self.limits.max_pipeline {
@@ -566,7 +571,7 @@ fn append_reply(conn: &mut Conn, reply: &str) {
 /// Pull every complete line out of the splitter into the pending queue.
 /// Returns `false` when the connection overflowed the line cap and is now
 /// tearing down.
-fn extract_lines(conn: &mut Conn, state: &Arc<ServerState>, max_line: usize) -> bool {
+fn extract_lines(conn: &mut Conn, metrics: &ConnMetrics, max_line: usize) -> bool {
     while let Some(read) = conn.splitter.next_line() {
         match read {
             LineRead::Line(line) => {
@@ -576,8 +581,8 @@ fn extract_lines(conn: &mut Conn, state: &Arc<ServerState>, max_line: usize) -> 
                 conn.pending.push_back(PendingItem::Request(line));
             }
             LineRead::TooLong => {
-                state.conn_metrics().note_line_too_long();
-                state.conn_metrics().note_error();
+                metrics.note_line_too_long();
+                metrics.note_error();
                 conn.pending
                     .push_back(PendingItem::Teardown(framing::line_too_long_reply(
                         max_line,

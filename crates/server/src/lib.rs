@@ -26,6 +26,12 @@
 //! * [`obs::Tracer`] — sampled per-request span traces with per-stage
 //!   timings (`TRACE LAST` / `TRACE <id>`) and a slow-query ring
 //!   (`SLOWLOG`), configured by `--trace-sample` and `--slow-ms`.
+//! * [`cluster::Router`] — multi-node scale-out: a scatter-gather
+//!   coordinator speaking the same wire protocol, partitioning timesteps
+//!   across replica groups of backend servers by a deterministic
+//!   [`cluster::ShardMap`], merging replies exactly and failing over
+//!   between replicas (pinned byte-identical to a single server by the
+//!   distributed differential suite; see `docs/CLUSTER.md`).
 //! * [`client::Client`] — a blocking client used by the CLI query mode, the
 //!   CI smoke driver and the tests.
 //! * [`testkit`] — shared test/bench support: tiny generated catalogs,
@@ -35,16 +41,20 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod event_loop;
 pub mod framing;
 pub mod metrics;
 pub mod protocol;
 pub mod query_cache;
 pub mod server;
+pub mod service;
 pub mod testkit;
 
 pub use client::{parse_stats, Client};
+pub use cluster::{Router, RouterConfig, RouterHandle, RouterState, ShardMap};
 pub use metrics::{ConnMetrics, OpMetrics, ServerMetrics};
 pub use protocol::Request;
 pub use query_cache::{QueryCache, QueryCacheStats};
 pub use server::{IoMode, Server, ServerConfig, ServerHandle, ServerState};
+pub use service::{ConnConfig, LineService};

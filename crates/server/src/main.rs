@@ -9,6 +9,13 @@
 //!                  [--trace-sample N] [--slow-ms MS] [--max-line-bytes N]
 //!                  [--idle-timeout-ms MS] [--write-timeout-ms MS]
 //!                  [--max-pipeline N] [--queue-depth N]
+//! vdx-server route --shard-map FILE.toml [--addr 127.0.0.1:7879]
+//!                  [--io-mode threaded|async] [--workers N]
+//!                  [--backend-timeout-ms MS] [--backend-inflight N]
+//!                  [--health-interval-ms MS] [--trace-sample N]
+//!                  [--slow-ms MS] [--max-line-bytes N]
+//!                  [--idle-timeout-ms MS] [--write-timeout-ms MS]
+//!                  [--max-pipeline N] [--queue-depth N]
 //! vdx-server query --addr HOST:PORT <verb> [field ...]
 //! vdx-server smoke [--dir DIR] [--store-dir DIR] [--io-mode threaded|async]
 //! vdx-server bench [--clients N] [--rounds N] [--particles N] [--timesteps N]
@@ -34,6 +41,14 @@
 //! `--slow-ms MS` sets the slow-query threshold; the `TRACE`, `SLOWLOG` and
 //! `METRICS` verbs expose the recorder and the metrics registry.
 //!
+//! `route` serves the same wire protocol as `serve`, but as a scatter-gather
+//! coordinator over backend `vdx-server` processes: `--shard-map` names a
+//! TOML file assigning timesteps to replica groups (format in
+//! docs/CLUSTER.md), per-step verbs forward to the owning group, `TRACK`/
+//! `INFO`/`SAVE`/`WARM` fan out and merge exactly, and replica failures fail
+//! over within the group. `REBALANCE` re-reads the map file without a
+//! restart.
+//!
 //! `query` joins its trailing arguments with tabs, so a shell session looks
 //! like `vdx-server query --addr 127.0.0.1:7878 SELECT 19 "px > 1e10"`.
 
@@ -44,7 +59,7 @@ use std::time::Instant;
 use datastore::{Catalog, DatasetCacheConfig};
 use histogram::Binning;
 use lwfa::{SimConfig, Simulation};
-use vdx_server::{Client, Server, ServerConfig};
+use vdx_server::{Client, ConnConfig, Router, RouterConfig, Server, ServerConfig};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -88,13 +103,15 @@ fn main() -> ExitCode {
     let mode = args.first().map(String::as_str).unwrap_or("help");
     let result = match mode {
         "serve" => serve(&args[1..]),
+        "route" => route(&args[1..]),
         "query" => query(&args[1..]),
         "smoke" => smoke(&args[1..]),
         "bench" => bench(&args[1..]),
         _ => {
             eprintln!(
-                "usage: vdx-server <serve|query|smoke|bench> [options]\n\
+                "usage: vdx-server <serve|route|query|smoke|bench> [options]\n\
                  \x20 serve --dir DIR [--addr A] [--workers N] [--io-mode threaded|async] [--cache-mb MB] [--query-cache N] [--nodes N] [--threads N] [--chunk-rows N] [--index-accel] [--store-dir DIR] [--trace-sample N] [--slow-ms MS] [--max-line-bytes N] [--idle-timeout-ms MS] [--write-timeout-ms MS] [--max-pipeline N] [--queue-depth N]\n\
+                 \x20 route --shard-map FILE.toml [--addr A] [--io-mode threaded|async] [--workers N] [--backend-timeout-ms MS] [--backend-inflight N] [--health-interval-ms MS] [--trace-sample N] [--slow-ms MS] [--max-line-bytes N] [--idle-timeout-ms MS] [--write-timeout-ms MS] [--max-pipeline N] [--queue-depth N]\n\
                  \x20 query --addr HOST:PORT <verb> [field ...]\n\
                  \x20 smoke [--dir DIR] [--store-dir DIR] [--io-mode threaded|async]\n\
                  \x20 bench [--clients N] [--rounds N] [--particles N] [--timesteps N] [--io-mode threaded|async]"
@@ -132,6 +149,47 @@ fn serve(args: &[String]) -> Result<(), String> {
         server.local_addr()
     );
     server.run().map_err(|e| e.to_string())
+}
+
+/// Serve as a scatter-gather router over the backends named by a shard map
+/// file (same wire protocol as `serve`; see docs/CLUSTER.md).
+fn route(args: &[String]) -> Result<(), String> {
+    let map_path = flag(args, "--shard-map").ok_or("route requires --shard-map FILE.toml")?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7879".to_string());
+    let defaults = RouterConfig::default();
+    let conn_defaults = ConnConfig::default();
+    let config = RouterConfig {
+        io_mode: parsed_flag(args, "--io-mode", defaults.io_mode),
+        conn: ConnConfig {
+            workers: parsed_flag(args, "--workers", conn_defaults.workers),
+            max_line_bytes: parsed_flag(args, "--max-line-bytes", conn_defaults.max_line_bytes),
+            idle_timeout_ms: parsed_flag(args, "--idle-timeout-ms", conn_defaults.idle_timeout_ms),
+            write_timeout_ms: parsed_flag(
+                args,
+                "--write-timeout-ms",
+                conn_defaults.write_timeout_ms,
+            ),
+            max_pipeline: parsed_flag(args, "--max-pipeline", conn_defaults.max_pipeline),
+            queue_depth: parsed_flag(args, "--queue-depth", conn_defaults.queue_depth),
+            ..conn_defaults
+        },
+        backend_timeout_ms: parsed_flag(args, "--backend-timeout-ms", defaults.backend_timeout_ms),
+        backend_inflight: parsed_flag(args, "--backend-inflight", defaults.backend_inflight),
+        health_interval_ms: parsed_flag(args, "--health-interval-ms", defaults.health_interval_ms),
+        trace_sample: parsed_flag(args, "--trace-sample", defaults.trace_sample),
+        slow_ms: parsed_flag(args, "--slow-ms", defaults.slow_ms),
+    };
+    let router = Router::bind_from_file(&map_path, &addr, config)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "vdx-server routing on {} over {map_path}",
+        router.local_addr()
+    );
+    println!(
+        "stop with: vdx-server query --addr {} SHUTDOWN",
+        router.local_addr()
+    );
+    router.run().map_err(|e| e.to_string())
 }
 
 fn query(args: &[String]) -> Result<(), String> {

@@ -28,6 +28,7 @@
 //! | `METRICS` | `OK\tMETRICS\t<lines>` + that many raw exposition lines |
 //! | `TRACE\tLAST` / `TRACE\t<id>` | `OK\tTRACE\t<id>\t<verb>\t<total µs>\t<request>\t<span tree>` |
 //! | `SLOWLOG[\t<n>]` | `OK\tSLOWLOG\t<count>\t<entry>\t…` |
+//! | `REBALANCE` | `OK\tREBALANCE\t<groups>\t<steps>` (router only) |
 //! | `QUIT` | `OK\tBYE` (connection closes) |
 //! | `SHUTDOWN` | `OK\tBYE` (server drains and stops) |
 //!
@@ -99,6 +100,9 @@ pub enum Request {
         /// Maximum entries to return.
         limit: usize,
     },
+    /// Reload the cluster shard map from disk (router only; a single-process
+    /// server answers with a typed `ERR`).
+    Rebalance,
     /// Close this connection.
     Quit,
     /// Gracefully stop the whole server.
@@ -122,6 +126,7 @@ impl Request {
             Request::Metrics => "METRICS",
             Request::Trace { .. } => "TRACE",
             Request::SlowLog { .. } => "SLOWLOG",
+            Request::Rebalance => "REBALANCE",
             Request::Quit => "QUIT",
             Request::Shutdown => "SHUTDOWN",
         }
@@ -195,6 +200,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         ("SLOWLOG", 1) => Ok(Request::SlowLog {
             limit: SLOWLOG_DEFAULT_LIMIT,
         }),
+        ("REBALANCE", 1) => Ok(Request::Rebalance),
         ("SLOWLOG", 2) => Ok(Request::SlowLog {
             limit: fields[1]
                 .trim()
@@ -397,6 +403,14 @@ mod tests {
         assert!(parse_request("TRACE\tfrog").is_err());
         assert!(parse_request("SLOWLOG\t-1").is_err());
         assert!(parse_request("METRICS\textra").is_err());
+    }
+
+    #[test]
+    fn rebalance_parses_as_a_bare_verb() {
+        assert_eq!(parse_request("REBALANCE"), Ok(Request::Rebalance));
+        assert_eq!(parse_request("rebalance"), Ok(Request::Rebalance));
+        assert_eq!(Request::Rebalance.verb(), "REBALANCE");
+        assert!(parse_request("REBALANCE\textra").is_err());
     }
 
     #[test]

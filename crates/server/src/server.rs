@@ -34,21 +34,20 @@
 //! flips a flag and unblocks the accept loop; workers finish the
 //! connections they hold and the run loop joins them before returning.
 
-use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::time::Instant;
 
 use datastore::{Catalog, DatasetCache, DatasetCacheConfig};
 use fastbit::{parse_query, HistEngine};
-use parking_lot::Mutex;
 use vdx_core::{DataExplorer, ExplorerConfig};
 
-use crate::framing::{self, LineRead};
+use crate::framing;
 use crate::metrics::{ConnMetrics, ServerMetrics};
 use crate::protocol::{self, Request};
 use crate::query_cache::QueryCache;
+use crate::service::{ConnConfig, LineService};
 
 /// Which connection layer a [`Server`] runs (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +139,22 @@ pub struct ServerConfig {
     /// Requests at least this slow (total wall-clock milliseconds) are
     /// retained in the `SLOWLOG` ring with their full span trees.
     pub slow_ms: u64,
+}
+
+impl ServerConfig {
+    /// The transport subset of this configuration, handed to the shared
+    /// connection layers in [`crate::service`].
+    pub fn conn(&self) -> ConnConfig {
+        ConnConfig {
+            workers: self.workers,
+            max_line_bytes: self.max_line_bytes,
+            idle_timeout_ms: self.idle_timeout_ms,
+            write_timeout_ms: self.write_timeout_ms,
+            max_pipeline: self.max_pipeline,
+            queue_depth: self.queue_depth,
+            write_buf_limit: self.write_buf_limit,
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -303,6 +318,11 @@ impl ServerState {
                 |s| Ok(protocol::slowlog_reply(&s.tracer.slowlog(limit))),
                 |m| &m.slowlog,
                 true,
+            ),
+            Request::Rebalance => self.timed(
+                |_| Err("not a router (REBALANCE reloads a cluster shard map)".to_string()),
+                |m| &m.meta,
+                false,
             ),
         }
     }
@@ -564,6 +584,20 @@ impl ServerState {
     }
 }
 
+impl LineService for ServerState {
+    fn handle_line(&self, line: &str) -> (String, bool) {
+        ServerState::handle_line(self, line)
+    }
+
+    fn conn_metrics(&self) -> &ConnMetrics {
+        ServerState::conn_metrics(self)
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        ServerState::shutdown_requested(self)
+    }
+}
+
 /// A handle for controlling a running (or about-to-run) server.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
@@ -681,52 +715,12 @@ impl Server {
 
     /// Serve until shutdown is requested, then drain workers and return.
     pub fn run(self) -> std::io::Result<()> {
-        match self.config.io_mode {
-            IoMode::Threaded => self.run_threaded(),
-            IoMode::Async => crate::event_loop::run(self.listener, self.state, &self.config),
-        }
-    }
-
-    /// The historical connection layer: a fixed worker pool, one blocked
-    /// worker per in-flight connection.
-    fn run_threaded(self) -> std::io::Result<()> {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers: Vec<_> = (0..self.config.workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let state = Arc::clone(&self.state);
-                let config = self.config.clone();
-                std::thread::spawn(move || loop {
-                    // Take the next connection, releasing the lock before
-                    // serving it so other workers keep draining the queue.
-                    let next = rx.lock().recv();
-                    match next {
-                        Ok(stream) => serve_connection(&state, stream, &config),
-                        Err(_) => break,
-                    }
-                })
-            })
-            .collect();
-
-        for stream in self.listener.incoming() {
-            if self.state.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
-                Err(_) => continue,
-            }
-        }
-        drop(tx);
-        for worker in workers {
-            let _ = worker.join();
-        }
-        Ok(())
+        crate::service::run_listener(
+            self.listener,
+            self.state,
+            self.config.io_mode,
+            &self.config.conn(),
+        )
     }
 
     /// Run on a background thread, returning the control handle and the
@@ -736,69 +730,6 @@ impl Server {
         let join = std::thread::spawn(move || self.run());
         (handle, join)
     }
-}
-
-/// Serve one client connection line-by-line until QUIT, EOF, an oversized
-/// line, the idle timeout, or an I/O error — the threaded-mode twin of the
-/// event loop's per-connection state machine, sharing its framing, its
-/// typed `ERR` teardown replies, and its [`ConnMetrics`] accounting.
-fn serve_connection(state: &ServerState, stream: TcpStream, config: &ServerConfig) {
-    let conn = state.conn_metrics();
-    conn.note_accepted();
-    let timeout = |ms: u64| (ms > 0).then(|| std::time::Duration::from_millis(ms));
-    let _ = stream.set_read_timeout(timeout(config.idle_timeout_ms));
-    let _ = stream.set_write_timeout(timeout(config.write_timeout_ms));
-    let mut reader = match stream.try_clone() {
-        Ok(clone) => BufReader::new(clone),
-        Err(_) => {
-            conn.note_error();
-            conn.note_closed();
-            return;
-        }
-    };
-    let mut writer = BufWriter::new(stream);
-    loop {
-        match framing::read_line_capped(&mut reader, config.max_line_bytes) {
-            Ok(LineRead::Eof) => break,
-            Ok(LineRead::TooLong) => {
-                conn.note_line_too_long();
-                conn.note_error();
-                let reply = framing::line_too_long_reply(config.max_line_bytes);
-                let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
-                break;
-            }
-            Ok(LineRead::Line(line)) => {
-                if line.is_empty() {
-                    continue;
-                }
-                let (reply, close) = state.handle_line(&line);
-                if writeln!(writer, "{reply}")
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    conn.note_error();
-                    break;
-                }
-                if close {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                conn.note_idle_disconnect();
-                let reply = framing::idle_timeout_reply(config.idle_timeout_ms);
-                let _ = writeln!(writer, "{reply}").and_then(|()| writer.flush());
-                break;
-            }
-            Err(_) => {
-                conn.note_error();
-                break;
-            }
-        }
-    }
-    conn.note_closed();
 }
 
 #[cfg(test)]

@@ -19,6 +19,8 @@ use histogram::Binning;
 use lwfa::{SimConfig, Simulation};
 
 use crate::client::Client;
+use crate::cluster::shard_map::{partition_steps, GroupSpec, ShardMap};
+use crate::cluster::{Router, RouterConfig, RouterHandle};
 use crate::server::{Server, ServerConfig, ServerHandle, ServerState};
 
 /// Generate a small indexed on-disk catalog under the system temp dir.
@@ -96,6 +98,173 @@ pub fn spawn_server(catalog: Arc<Catalog>, dir: PathBuf, config: ServerConfig) -
     let server = Server::bind(catalog, "127.0.0.1:0", config).expect("bind ephemeral port");
     let (handle, join) = server.spawn();
     TestServer { handle, join, dir }
+}
+
+/// One backend replica process of a [`TestCluster`].
+#[derive(Debug)]
+pub struct TestBackend {
+    /// Handle to the running backend server.
+    pub handle: ServerHandle,
+    join: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl TestBackend {
+    /// The backend's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.join
+            .join()
+            .expect("backend run loop panicked")
+            .unwrap();
+    }
+}
+
+/// A running sharded cluster: one router over `groups × replicas` backend
+/// servers, each replica group serving a disjoint slice of one generated
+/// catalog (hard-linked into per-group subdirectories, so shards really
+/// hold only their own timesteps while the full catalog stays available
+/// for a single-process oracle).
+#[derive(Debug)]
+pub struct TestCluster {
+    /// Handle to the running router (address, state, shutdown).
+    pub router: RouterHandle,
+    router_join: std::thread::JoinHandle<std::io::Result<()>>,
+    /// Backends by `[group][replica]`; `None` once killed.
+    pub backends: Vec<Vec<Option<TestBackend>>>,
+    /// The shard map file the router watches (`REBALANCE` re-reads it).
+    pub map_path: PathBuf,
+    dir: PathBuf,
+}
+
+impl TestCluster {
+    /// The router's bound address — clients connect here.
+    pub fn addr(&self) -> SocketAddr {
+        self.router.addr()
+    }
+
+    /// The catalog directory (the full catalog; shard subdirectories live
+    /// beneath it).
+    pub fn dir(&self) -> &PathBuf {
+        &self.dir
+    }
+
+    /// Spawn a single-process server over the cluster's full catalog — the
+    /// byte-identity oracle for differential tests. Shut it down before
+    /// [`TestCluster::shutdown_and_clean`] removes the shared directory
+    /// (its own cleanup only touches a scratch subdirectory).
+    pub fn spawn_oracle(&self, config: ServerConfig) -> TestServer {
+        let catalog = Arc::new(Catalog::open(&self.dir).expect("open oracle catalog"));
+        spawn_server(catalog, self.dir.join(".oracle-scratch"), config)
+    }
+
+    /// Kill one backend replica (graceful stop; its listener closes, so
+    /// the router's next request to it fails over). Idempotent per slot.
+    pub fn kill_replica(&mut self, group: usize, replica: usize) {
+        if let Some(backend) = self.backends[group][replica].take() {
+            backend.stop();
+        }
+    }
+
+    /// Kill every replica of a group — the whole-group-down scenario.
+    pub fn kill_group(&mut self, group: usize) {
+        for replica in 0..self.backends[group].len() {
+            self.kill_replica(group, replica);
+        }
+    }
+
+    /// Gracefully stop the router and every surviving backend, then remove
+    /// the catalog directory.
+    pub fn shutdown_and_clean(mut self) {
+        self.router.shutdown();
+        self.router_join
+            .join()
+            .expect("router run loop panicked")
+            .unwrap();
+        for group in &mut self.backends {
+            for slot in group.iter_mut() {
+                if let Some(backend) = slot.take() {
+                    backend.stop();
+                }
+            }
+        }
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Generate a tiny catalog and spawn a sharded cluster over it: timesteps
+/// are partitioned round-robin ([`partition_steps`]) across `n_groups`
+/// replica groups of `replicas_per_group` backend servers each, a shard
+/// map file is written next to the catalog, and a router is bound over it
+/// on an ephemeral port.
+#[allow(clippy::too_many_arguments)]
+pub fn spawn_cluster(
+    tag: &str,
+    particles: usize,
+    timesteps: usize,
+    index_bins: usize,
+    n_groups: usize,
+    replicas_per_group: usize,
+    backend_config: ServerConfig,
+    router_config: RouterConfig,
+) -> TestCluster {
+    let (catalog, dir) = tiny_catalog(tag, particles, timesteps, index_bins);
+    let steps = catalog.steps();
+    drop(catalog);
+    let partitions = partition_steps(&steps, n_groups);
+
+    let mut backends: Vec<Vec<Option<TestBackend>>> = Vec::new();
+    let mut groups: Vec<GroupSpec> = Vec::new();
+    for (g, owned) in partitions.iter().enumerate() {
+        // Hard-link (or copy) the owned timestep files into the group's
+        // subdirectory, so each shard's catalog holds only its own steps.
+        let shard_dir = dir.join(format!("shard{g}"));
+        std::fs::create_dir_all(&shard_dir).expect("create shard dir");
+        for &step in owned {
+            for ext in ["vdc", "vdi", "vdj"] {
+                let name = format!("timestep_{step:05}.{ext}");
+                let src = dir.join(&name);
+                if src.exists() {
+                    let dst = shard_dir.join(&name);
+                    if std::fs::hard_link(&src, &dst).is_err() {
+                        std::fs::copy(&src, &dst).expect("copy timestep file");
+                    }
+                }
+            }
+        }
+        let mut replicas = Vec::new();
+        let mut group_backends = Vec::new();
+        for _ in 0..replicas_per_group.max(1) {
+            let catalog = Arc::new(Catalog::open(&shard_dir).expect("open shard catalog"));
+            let server =
+                Server::bind(catalog, "127.0.0.1:0", backend_config.clone()).expect("bind backend");
+            let (handle, join) = server.spawn();
+            replicas.push(handle.addr());
+            group_backends.push(Some(TestBackend { handle, join }));
+        }
+        backends.push(group_backends);
+        groups.push(GroupSpec {
+            steps: owned.clone(),
+            replicas,
+        });
+    }
+
+    let map = ShardMap { groups };
+    let map_path = dir.join("shard_map.toml");
+    std::fs::write(&map_path, map.render()).expect("write shard map");
+    let router =
+        Router::bind_from_file(&map_path, "127.0.0.1:0", router_config).expect("bind router");
+    let (router, router_join) = router.spawn();
+    TestCluster {
+        router,
+        router_join,
+        backends,
+        map_path,
+        dir,
+    }
 }
 
 /// Run `f(index)` on `clients` scoped threads concurrently and collect the

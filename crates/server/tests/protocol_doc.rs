@@ -34,6 +34,7 @@ fn verb_of(request: &Request) -> &'static str {
         Request::Metrics => "METRICS",
         Request::Trace { .. } => "TRACE",
         Request::SlowLog { .. } => "SLOWLOG",
+        Request::Rebalance => "REBALANCE",
         Request::Quit => "QUIT",
         Request::Shutdown => "SHUTDOWN",
     }
@@ -66,6 +67,7 @@ fn all_requests() -> Vec<Request> {
         Request::Metrics,
         Request::Trace { id: None },
         Request::SlowLog { limit: 16 },
+        Request::Rebalance,
         Request::Quit,
         Request::Shutdown,
     ]
@@ -154,6 +156,114 @@ fn every_stats_field_is_documented() {
         );
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The router's `STATS` superset and its `vdx_cluster_*` metric families
+/// are held to the same two-way contract: every field a real routed reply
+/// emits must be documented (per-shard fields through the `shard<g>_`
+/// template), and every family the router registers must appear in
+/// `docs/OBSERVABILITY.md`.
+#[test]
+fn every_router_stats_field_and_metric_family_is_documented() {
+    const OBSERVABILITY_DOC: &str = include_str!("../../../docs/OBSERVABILITY.md");
+    let cluster = vdx_server::testkit::spawn_cluster(
+        "protocol_doc_cluster",
+        100,
+        2,
+        8,
+        2,
+        1,
+        ServerConfig::default(),
+        vdx_server::RouterConfig {
+            health_interval_ms: 0,
+            ..Default::default()
+        },
+    );
+    let mut client = vdx_server::Client::connect(cluster.addr()).unwrap();
+    // Exercise a forward, a fanout, and a rebalance so the reply is real.
+    assert!(client
+        .request("SELECT\t0\tpx > 0")
+        .unwrap()
+        .starts_with("OK\tSELECT\t"));
+    assert!(client
+        .request("TRACK\t1,2,3")
+        .unwrap()
+        .starts_with("OK\tTRACK\t"));
+    assert!(client
+        .request("REBALANCE")
+        .unwrap()
+        .starts_with("OK\tREBALANCE\t"));
+
+    let stats = client.request("STATS").unwrap();
+    let fields = parse_stats(&stats);
+    assert!(!fields.is_empty());
+    const OPS: [&str; 13] = [
+        "select", "refine", "hist", "track", "meta", "ping", "info", "stats", "save", "warm",
+        "metrics", "trace", "slowlog",
+    ];
+    for key in fields.keys() {
+        // Per-shard fields are documented through the `shard<g>_` template.
+        let template = match key.strip_prefix("shard") {
+            Some(rest) if rest.starts_with(|c: char| c.is_ascii_digit()) => {
+                let suffix = rest.trim_start_matches(|c: char| c.is_ascii_digit());
+                Some(format!("`shard<g>{suffix}`"))
+            }
+            _ => None,
+        };
+        let documented_literally = PROTOCOL_DOC.contains(&format!("`{key}`"));
+        let documented_as_shard = template.is_some_and(|t| PROTOCOL_DOC.contains(&t));
+        let documented_by_op_template = OPS.iter().any(|op| {
+            key.strip_prefix(&format!("{op}_")).is_some_and(|suffix| {
+                PROTOCOL_DOC.contains(&format!("`<op>_{suffix}`"))
+                    && PROTOCOL_DOC.contains(&format!("`{op}`"))
+            })
+        });
+        assert!(
+            documented_literally || documented_as_shard || documented_by_op_template,
+            "router STATS field '{key}' is not documented in docs/PROTOCOL.md"
+        );
+    }
+    // And the other direction: the cluster fields the docs promise.
+    for promised in [
+        "cluster_groups",
+        "cluster_replicas",
+        "cluster_replicas_healthy",
+        "cluster_degraded",
+        "cluster_fanouts",
+        "cluster_forwards",
+        "cluster_failovers",
+        "cluster_shard_unavailable",
+        "cluster_rebalances",
+    ] {
+        assert!(
+            fields.contains_key(promised),
+            "documented router STATS field '{promised}' missing from a real reply"
+        );
+    }
+
+    let metrics = client.metrics().unwrap();
+    let mut cluster_families = 0usize;
+    for line in &metrics {
+        let Some(rest) = line.strip_prefix("# TYPE ") else {
+            continue;
+        };
+        let family = rest.split(' ').next().unwrap();
+        if family.starts_with("vdx_cluster_") {
+            cluster_families += 1;
+        }
+        assert!(
+            OBSERVABILITY_DOC.contains(&format!("`{family}`")),
+            "router metric family '{family}' is not documented in docs/OBSERVABILITY.md"
+        );
+    }
+    assert!(
+        cluster_families >= 8,
+        "router registry exposes the vdx_cluster_* families"
+    );
+
+    assert_eq!(client.request("QUIT").unwrap(), "OK\tBYE");
+    drop(client);
+    cluster.shutdown_and_clean();
 }
 
 #[test]
